@@ -1,0 +1,58 @@
+"""Ablation: the adaptive scheme's disable threshold (paper uses 8/64).
+
+A tiny threshold disables blocks on the first few saturations (falling
+back to the originals too eagerly); a huge one never disables and keeps
+paying double accesses. The paper picks 8 — half of the ~25% of
+counters typically touched per block.
+"""
+
+from conftest import run_once
+
+from repro.harness.report import format_table
+from repro.metadata.compact import CompactCounterConfig
+from repro.metadata.layout import GranularityDesign
+from repro.secure.plutus import PlutusEngine
+
+BENCH = "lbm"
+THRESHOLDS = (2, 8, 32, 64)
+
+
+def test_ablation_disable_threshold(benchmark, ctx):
+    def factory_for(threshold):
+        config = CompactCounterConfig(
+            width_bits=3, counters_per_block=64, adaptive=True,
+            disable_threshold=threshold,
+        )
+        return lambda p, s, t: PlutusEngine(
+            p, s, t,
+            design=GranularityDesign.BLOCK_128,
+            value_cache_config=None,
+            compact_config=config,
+        )
+
+    def run():
+        rows = []
+        for threshold in THRESHOLDS:
+            res = ctx.run_custom(
+                BENCH, f"compact:adaptive-t{threshold}", factory_for(threshold)
+            )
+            rows.append(
+                {
+                    "threshold": threshold,
+                    "meta_bytes": res.metadata_bytes,
+                    "disables": res.engine_stats.compact_disable_events,
+                    "double_accesses": res.engine_stats.compact_double_accesses,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(format_table(rows))
+    by_threshold = {r["threshold"]: r for r in rows}
+    # Lower thresholds disable no less often than higher ones.
+    assert by_threshold[2]["disables"] >= by_threshold[64]["disables"]
+    # Higher thresholds tolerate no fewer double accesses.
+    assert (
+        by_threshold[64]["double_accesses"]
+        >= by_threshold[2]["double_accesses"]
+    )

@@ -1,0 +1,38 @@
+"""Ablation: lazy vs eager integrity-tree update (DESIGN.md section 5).
+
+The lazy scheme batches tree updates in the node caches until eviction;
+the eager scheme writes the whole path on every counter update. Lazy
+must win on write traffic, dramatically so for write-heavy kernels.
+"""
+
+from conftest import run_once
+
+from repro.gpu.perf_model import normalized_ipc
+from repro.harness.report import format_table
+
+WRITE_HEAVY = ["lbm", "srad", "histo"]
+
+
+def test_ablation_lazy_vs_eager(benchmark, ctx):
+    def run():
+        rows = []
+        for bench in WRITE_HEAVY:
+            base = ctx.run(bench, "nosec")
+            lazy = ctx.run(bench, "pssm")
+            eager = ctx.run(bench, "pssm:eager")
+            rows.append(
+                {
+                    "benchmark": bench,
+                    "lazy_tree_bytes": lazy.traffic.tree_bytes,
+                    "eager_tree_bytes": eager.traffic.tree_bytes,
+                    "lazy_ipc": normalized_ipc(lazy, base),
+                    "eager_ipc": normalized_ipc(eager, base),
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(format_table(rows))
+    for row in rows:
+        assert row["lazy_tree_bytes"] < row["eager_tree_bytes"], row
+        assert row["lazy_ipc"] >= row["eager_ipc"], row

@@ -1,0 +1,37 @@
+"""Ablation: 4-byte (PSSM) vs 8-byte (Plutus baseline) MAC tags.
+
+Smaller tags pack more MACs per sector (less traffic) but halve the
+security level: 2^-32 collisions vs 2^-64. The paper pays the 8-byte
+cost for fairness and then removes the traffic with value verification.
+"""
+
+from conftest import run_once
+
+from repro.analysis.security import mac_collision
+from repro.harness.report import format_table
+
+BENCHES = ["bfs", "sssp", "lbm"]
+
+
+def test_ablation_mac_size(benchmark, ctx):
+    def run():
+        rows = []
+        for bench in BENCHES:
+            mac8 = ctx.run(bench, "pssm")
+            mac4 = ctx.run(bench, "pssm:4B-mac")
+            rows.append(
+                {
+                    "benchmark": bench,
+                    "mac8_bytes": mac8.traffic.mac_bytes,
+                    "mac4_bytes": mac4.traffic.mac_bytes,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(format_table(rows))
+    for row in rows:
+        assert row["mac4_bytes"] <= row["mac8_bytes"], row
+    # The security price of the 4-byte tag, for the record.
+    assert mac_collision(4).bits_of_security == 32
+    assert mac_collision(8).bits_of_security == 64

@@ -1,0 +1,37 @@
+"""Ablation: the value cache's pinned-region fraction (paper uses 25%).
+
+No pinning means no write can ever be proven verifiable-at-next-read
+(MAC writes never skipped); pinning too much starves the transient
+region that captures fresh reuse.
+"""
+
+from conftest import run_once
+
+from repro.harness.report import format_table
+
+BENCHES = ["histo", "color", "pagerank"]
+FRACTIONS = (0.0, 0.125, 0.25, 0.5)
+
+
+def test_ablation_pinned_fraction(benchmark, ctx):
+    def run():
+        rows = []
+        for bench in BENCHES:
+            row = {"benchmark": bench}
+            for fraction in FRACTIONS:
+                res = ctx.run(bench, f"plutus:pinned-{fraction}")
+                row[f"skipped_writes_at_{fraction}"] = (
+                    res.engine_stats.mac_writes_avoided
+                )
+                row[f"meta_bytes_at_{fraction}"] = res.metadata_bytes
+            return_row = row
+            rows.append(return_row)
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(format_table(rows))
+    for row in rows:
+        # Without a pinned region no MAC write can be skipped.
+        assert row["skipped_writes_at_0.0"] == 0
+        # The paper's 25% region does skip MAC writes.
+        assert row["skipped_writes_at_0.25"] > 0

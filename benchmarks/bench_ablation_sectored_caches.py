@@ -1,0 +1,44 @@
+"""Ablation: sectored vs non-sectored metadata caches (PSSM's premise).
+
+Disabling sectoring forces every metadata miss to fetch whole 128-byte
+lines; for irregular access patterns that over-fetch is pure waste.
+"""
+
+from conftest import run_once
+
+from repro.harness.report import format_table
+from repro.secure.engine import MetadataCacheConfig
+from repro.secure.plutus import PlutusEngine
+from repro.metadata.layout import GranularityDesign
+
+BENCHES = ["bfs", "sssp"]
+
+
+def test_ablation_sectored_metadata_caches(benchmark, ctx):
+    def non_sectored(p, s, t):
+        return PlutusEngine(
+            p, s, t,
+            design=GranularityDesign.ALL_32,
+            value_cache_config=None,
+            compact_config=None,
+            cache_config=MetadataCacheConfig(sectored=False),
+        )
+
+    def run():
+        rows = []
+        for bench in BENCHES:
+            sectored = ctx.run(bench, "gran:32B-all")
+            flat = ctx.run_custom(bench, "gran:32B-all:flat", non_sectored)
+            rows.append(
+                {
+                    "benchmark": bench,
+                    "sectored_meta_bytes": sectored.metadata_bytes,
+                    "non_sectored_meta_bytes": flat.metadata_bytes,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, run)
+    print(format_table(rows))
+    for row in rows:
+        assert row["sectored_meta_bytes"] < row["non_sectored_meta_bytes"]

@@ -1,0 +1,16 @@
+"""Extension: empirical Monte-Carlo attack on the value check.
+
+Runs real AES-XTS tampering against a fully stocked value cache; the
+Eq. 1 bound predicts zero passes at any feasible trial count.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.report import render_experiment
+
+
+def test_ext_forgery(benchmark, ctx):
+    result = run_once(benchmark, lambda: EXPERIMENTS["ext-forgery"](ctx))
+    print(render_experiment(result))
+    assert result.summary["sector_pass_rate"] == 0.0

@@ -1,0 +1,17 @@
+"""Extension: metadata storage accounting (paper Section IV-F)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.report import render_experiment
+
+
+def test_ext_storage(benchmark, ctx):
+    result = run_once(benchmark, lambda: EXPERIMENTS["ext-storage"](ctx))
+    print(render_experiment(result))
+    # The paper's 1.33 MB fine-granularity BMT, exactly.
+    assert abs(result.summary["plutus_bmt_mib"] - 1.33) < 0.01
+    rows = {r["design"]: r for r in result.rows}
+    # Plutus trades storage for bandwidth: strictly more off-chip bytes.
+    assert rows["plutus"]["bmt"] > rows["pssm"]["bmt"]
+    assert rows["plutus"]["onchip_sram_bytes"] > rows["pssm"]["onchip_sram_bytes"]

@@ -1,0 +1,20 @@
+"""Fig. 6: IPC of the PSSM-secured GPU normalized to no security.
+
+Paper shape: secured IPC well below 1.0 across the roster, with the
+irregular (graph) benchmarks losing the most.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig06
+from repro.harness.report import render_experiment
+
+
+def test_fig06_security_overhead(benchmark, ctx):
+    result = run_once(benchmark, lambda: run_fig06(ctx))
+    print(render_experiment(result))
+    benchmark.extra_info.update(result.summary)
+    # Every benchmark pays for security; irregular ones pay the most.
+    assert result.summary["max"] < 1.0
+    ipc = {r["benchmark"]: r["ipc_normalized"] for r in result.rows}
+    assert ipc["bfs"] < ipc["lbm"]

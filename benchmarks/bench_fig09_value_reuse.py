@@ -1,0 +1,25 @@
+"""Fig. 9: sector value-reuse fractions under the three study scenarios.
+
+Paper shape: substantial reuse across the roster, with the masked
+two-halves scenario the most permissive and whole-sector matching the
+least.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig09
+from repro.harness.report import render_experiment
+
+
+def test_fig09_value_reuse(benchmark, ctx):
+    result = run_once(benchmark, lambda: run_fig09(ctx))
+    print(render_experiment(result))
+    benchmark.extra_info.update(result.summary)
+    for row in result.rows:
+        assert row["masked"] >= row["halves"] >= row["full"]
+    # The roster averages significant reuse (the paper's headline).
+    assert result.summary["mean"] > 0.35
+    # Value-locality outliers behave as profiled: coloring's tiny
+    # palette reuses far more than gaussian's long rows.
+    masked = {r["benchmark"]: r["masked"] for r in result.rows}
+    assert masked["color"] > masked["gaussian"]

@@ -1,0 +1,19 @@
+"""Fig. 10: read/write memory-request breakdown per benchmark.
+
+Paper shape: most GPU benchmarks are read-dominated; LBM is the
+write-heavy outlier.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig10
+from repro.harness.report import render_experiment
+
+
+def test_fig10_rw_breakdown(benchmark, ctx):
+    result = run_once(benchmark, lambda: run_fig10(ctx))
+    print(render_experiment(result))
+    benchmark.extra_info.update(result.summary)
+    reads = {r["benchmark"]: r["read_fraction"] for r in result.rows}
+    assert sum(1 for v in reads.values() if v > 0.66) >= 10
+    assert reads["lbm"] == min(reads.values())

@@ -1,0 +1,20 @@
+"""Fig. 15: value-based integrity verification alone vs PSSM.
+
+Paper: +4.94% average IPC, up to +19.89%.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig15
+from repro.harness.report import render_experiment
+
+
+def test_fig15_value_verification(benchmark, ctx):
+    result = run_once(benchmark, lambda: run_fig15(ctx))
+    print(render_experiment(result))
+    benchmark.extra_info.update(result.summary)
+    # Shape: clear positive average, close to the paper's magnitude.
+    assert 1.02 < result.summary["mean"] < 1.15
+    # No benchmark is materially hurt by the value check.
+    assert result.summary["min"] > 0.99
+    assert result.summary["max"] > 1.08

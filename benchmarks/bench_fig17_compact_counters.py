@@ -1,0 +1,34 @@
+"""Fig. 17: 2-bit / 3-bit / adaptive compact mirrored counters.
+
+Paper: the adaptive scheme is best (+2.07% average, up to +8.28%);
+2-bit counters overflow on the third write and suffer double accesses
+on write-heavy kernels.
+
+Known divergence (recorded in EXPERIMENTS.md): on read-dominated
+synthetic gathers the 2-bit design's 4x density can outweigh its
+saturation penalty, because a short trace window cannot accumulate the
+write depth that penalizes it in the paper's 2B-instruction runs.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig17
+from repro.harness.report import render_experiment
+
+
+def test_fig17_compact_counters(benchmark, ctx):
+    result = run_once(benchmark, lambda: run_fig17(ctx))
+    print(render_experiment(result))
+    benchmark.extra_info.update(result.summary)
+    rows = result.rows
+    mean = lambda key: sum(r[key] for r in rows) / len(rows)
+    # The adaptive scheme is the best 3-bit organization and positive.
+    assert mean("compact_adaptive") >= mean("compact_3bit")
+    assert mean("compact_adaptive") > 1.0
+    # 2-bit pays for saturation on the deeply-rewritten kernels.
+    by_bench = {r["benchmark"]: r for r in rows}
+    for bench in ("lbm", "srad", "hotspot"):
+        assert (
+            by_bench[bench]["compact_adaptive"]
+            >= by_bench[bench]["compact_2bit"] - 0.005
+        )

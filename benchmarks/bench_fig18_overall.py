@@ -1,0 +1,22 @@
+"""Fig. 18: full Plutus vs PSSM and common-counters+PSSM.
+
+Paper: +16.86% average IPC over PSSM (up to +58.38%), +8.97% over
+common counters combined with PSSM.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig18
+from repro.harness.report import render_experiment
+
+
+def test_fig18_overall(benchmark, ctx):
+    result = run_once(benchmark, lambda: run_fig18(ctx))
+    print(render_experiment(result))
+    benchmark.extra_info.update(result.summary)
+    # Headline: double-digit average gain, large maximum, CC beaten.
+    assert 1.10 < result.summary["mean"] < 1.30
+    assert result.summary["max"] > 1.25
+    assert result.summary["mean_vs_cc"] > 1.05
+    # Nothing regresses.
+    assert result.summary["min"] > 0.99

@@ -1,0 +1,20 @@
+"""Fig. 19: security-metadata traffic reduction of Plutus over PSSM.
+
+Paper: 48.14% average reduction, up to 80.30%.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig19
+from repro.harness.report import render_experiment
+
+
+def test_fig19_traffic_reduction(benchmark, ctx):
+    result = run_once(benchmark, lambda: run_fig19(ctx))
+    print(render_experiment(result))
+    benchmark.extra_info.update(result.summary)
+    # Shape: strong average reduction, very large maximum.
+    assert result.summary["mean"] > 0.25
+    assert result.summary["max"] > 0.55
+    # Every benchmark saves at least something.
+    assert result.summary["min"] > 0.0

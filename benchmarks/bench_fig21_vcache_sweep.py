@@ -1,0 +1,24 @@
+"""Fig. 21: sensitivity of Plutus to the value-cache size.
+
+Paper: 256 entries per partition capture most of the repeated values;
+larger caches bring little additional benefit.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig21
+from repro.harness.report import render_experiment
+
+
+def test_fig21_vcache_sweep(benchmark, ctx):
+    result = run_once(benchmark, lambda: run_fig21(ctx))
+    print(render_experiment(result))
+    benchmark.extra_info.update(result.summary)
+    rows = result.rows
+    mean = lambda key: sum(r[key] for r in rows) / len(rows)
+    # Gains grow with size but saturate: the step from 256 to 1024
+    # entries is much smaller than the step from 64 to 256.
+    gain_small = mean("entries_256") - mean("entries_64")
+    gain_large = mean("entries_1024") - mean("entries_256")
+    assert mean("entries_256") > mean("entries_64")
+    assert gain_large < gain_small

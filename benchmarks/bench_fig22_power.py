@@ -1,0 +1,24 @@
+"""Fig. 22: average power normalized to a no-security system.
+
+Paper: the 8B-MAC PSSM scheme costs +36.9% power; Plutus reduces the
+security power overhead to +17.8%.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_fig22
+from repro.harness.report import render_experiment
+
+
+def test_fig22_power(benchmark, ctx):
+    result = run_once(benchmark, lambda: run_fig22(ctx))
+    print(render_experiment(result))
+    benchmark.extra_info.update(result.summary)
+    rows = result.rows
+    mean = lambda key: sum(r[key] for r in rows) / len(rows)
+    pssm = mean("pssm_power_overhead")
+    plutus = mean("plutus_power_overhead")
+    # Shape: PSSM in the tens of percent; Plutus substantially lower.
+    assert 0.15 < pssm < 0.60
+    assert plutus < pssm * 0.80
+    assert plutus > 0.0

@@ -1,0 +1,26 @@
+"""Shared context for the figure-reproduction benches.
+
+All benches share one :class:`ExperimentContext`, so each (trace,
+engine) simulation runs exactly once per session no matter how many
+figures consume it. Trace length balances fidelity against bench
+runtime; override with REPRO_BENCH_TRACE_LEN (the EXPERIMENTS.md numbers
+were recorded at 30000).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.runner import ExperimentContext
+
+BENCH_TRACE_LENGTH = int(os.environ.get("REPRO_BENCH_TRACE_LEN", "8000"))
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext(trace_length=BENCH_TRACE_LENGTH)
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

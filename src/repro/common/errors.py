@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Plutus reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without also swallowing programming
+errors (``TypeError``, ``KeyError``, ...).
+
+The security-related exceptions mirror the attack classes the paper's
+threat model defends against (Section IV-A): spoofing and splicing are
+caught by MAC verification (:class:`IntegrityError`), replay is caught by
+the integrity tree (:class:`ReplayError`), and counter-mode misuse is
+prevented eagerly (:class:`CounterOverflowError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class AlignmentError(ReproError, ValueError):
+    """An address or size violated a required alignment."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeySizeError(CryptoError, ValueError):
+    """A key of unsupported length was supplied to a cipher."""
+
+
+class BlockSizeError(CryptoError, ValueError):
+    """Data had an invalid length for the selected cipher mode."""
+
+
+class SecurityViolation(ReproError):
+    """Base class for detected attacks on the protected memory."""
+
+    def __init__(self, message: str, address: "int | None" = None) -> None:
+        super().__init__(message)
+        #: Physical address at which the violation was detected (if known).
+        self.address = address
+
+
+class IntegrityError(SecurityViolation):
+    """MAC (or value-based) verification failed: data was tampered with."""
+
+
+class ReplayError(SecurityViolation):
+    """Integrity-tree verification failed: stale data was replayed."""
+
+
+class CounterOverflowError(ReproError):
+    """An encryption counter exhausted its range.
+
+    Real designs re-encrypt the affected region with a fresh key; the
+    reproduction surfaces the event so that tests can assert on the exact
+    overflow semantics of split and compact counters.
+    """
+
+
+class SimulationError(ReproError):
+    """The trace-driven simulator reached an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """A workload trace record was malformed or out of accepted range."""

@@ -1,0 +1,128 @@
+"""Size, bandwidth, and frequency units.
+
+Architectural configuration code is dominated by byte counts and rates;
+these tiny value types keep the arithmetic explicit (``Size.from_kib(2)``
+reads better than ``2 * 1024``) and make configuration errors loud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+
+@dataclass(frozen=True, order=True)
+class Size:
+    """A byte count with binary-unit constructors and pretty printing."""
+
+    bytes: int
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0:
+            raise ValueError("size cannot be negative")
+
+    @classmethod
+    def from_kib(cls, kib: float) -> "Size":
+        return cls(int(kib * KIB))
+
+    @classmethod
+    def from_mib(cls, mib: float) -> "Size":
+        return cls(int(mib * MIB))
+
+    @classmethod
+    def from_gib(cls, gib: float) -> "Size":
+        return cls(int(gib * GIB))
+
+    @property
+    def kib(self) -> float:
+        return self.bytes / KIB
+
+    @property
+    def mib(self) -> float:
+        return self.bytes / MIB
+
+    @property
+    def gib(self) -> float:
+        return self.bytes / GIB
+
+    def __add__(self, other: "Size") -> "Size":
+        return Size(self.bytes + other.bytes)
+
+    def __sub__(self, other: "Size") -> "Size":
+        return Size(self.bytes - other.bytes)
+
+    def __mul__(self, factor: int) -> "Size":
+        return Size(self.bytes * factor)
+
+    __rmul__ = __mul__
+
+    def __str__(self) -> str:
+        if self.bytes >= GIB and self.bytes % GIB == 0:
+            return f"{self.bytes // GIB} GiB"
+        if self.bytes >= MIB and self.bytes % MIB == 0:
+            return f"{self.bytes // MIB} MiB"
+        if self.bytes >= KIB and self.bytes % KIB == 0:
+            return f"{self.bytes // KIB} KiB"
+        return f"{self.bytes} B"
+
+
+@dataclass(frozen=True, order=True)
+class Bandwidth:
+    """A data rate in bytes per second."""
+
+    bytes_per_second: float
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_second < 0:
+            raise ValueError("bandwidth cannot be negative")
+
+    @classmethod
+    def from_gb_per_s(cls, gb: float) -> "Bandwidth":
+        return cls(gb * GIGA)
+
+    @property
+    def gb_per_s(self) -> float:
+        return self.bytes_per_second / GIGA
+
+    def transfer_seconds(self, size: Size) -> float:
+        """Time to move *size* bytes at this rate."""
+        if self.bytes_per_second == 0:
+            raise ZeroDivisionError("zero bandwidth cannot transfer data")
+        return size.bytes / self.bytes_per_second
+
+    def __str__(self) -> str:
+        return f"{self.gb_per_s:g} GB/s"
+
+
+@dataclass(frozen=True, order=True)
+class Frequency:
+    """A clock rate in hertz."""
+
+    hertz: float
+
+    def __post_init__(self) -> None:
+        if self.hertz < 0:
+            raise ValueError("frequency cannot be negative")
+
+    @classmethod
+    def from_mhz(cls, mhz: float) -> "Frequency":
+        return cls(mhz * MEGA)
+
+    @property
+    def mhz(self) -> float:
+        return self.hertz / MEGA
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        if self.hertz == 0:
+            raise ZeroDivisionError("zero frequency has no cycle time")
+        return cycles / self.hertz
+
+    def __str__(self) -> str:
+        return f"{self.mhz:g} MHz"

@@ -1,0 +1,36 @@
+"""The paper's primary contribution, re-exported under ``repro.core``.
+
+The Plutus engine and its two supporting structures (value cache and
+compact counters) live in :mod:`repro.secure` and
+:mod:`repro.metadata`; this package gives them the canonical
+"core-of-the-paper" address so downstream users can write
+``from repro.core import PlutusEngine`` without knowing the internal
+package layout.
+"""
+
+from repro.metadata.compact import (
+    DESIGN_2BIT,
+    DESIGN_3BIT,
+    DESIGN_3BIT_ADAPTIVE,
+    CompactCounterConfig,
+    CompactCounterState,
+    CounterRoute,
+)
+from repro.metadata.layout import GranularityDesign
+from repro.secure.functional import SecureMemory
+from repro.secure.plutus import PlutusEngine
+from repro.secure.value_cache import ValueCache, ValueCacheConfig
+
+__all__ = [
+    "CompactCounterConfig",
+    "CompactCounterState",
+    "CounterRoute",
+    "DESIGN_2BIT",
+    "DESIGN_3BIT",
+    "DESIGN_3BIT_ADAPTIVE",
+    "GranularityDesign",
+    "PlutusEngine",
+    "SecureMemory",
+    "ValueCache",
+    "ValueCacheConfig",
+]

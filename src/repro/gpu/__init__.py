@@ -1,0 +1,39 @@
+"""GPU model: configuration, L2 + event-log simulator, performance model."""
+
+from repro.gpu.config import VOLTA, GpuConfig, L2Config
+from repro.gpu.perf_model import (
+    KernelTimeEstimate,
+    estimate_kernel_time,
+    normalized_ipc,
+    slowdown_vs_baseline,
+    speedup,
+)
+from repro.gpu.simulator import (
+    EventKind,
+    L2Stats,
+    MemoryEvent,
+    MemoryEventLog,
+    SimulationResult,
+    replay_events,
+    simulate,
+    simulate_l2,
+)
+
+__all__ = [
+    "EventKind",
+    "GpuConfig",
+    "KernelTimeEstimate",
+    "L2Config",
+    "L2Stats",
+    "MemoryEvent",
+    "MemoryEventLog",
+    "SimulationResult",
+    "VOLTA",
+    "estimate_kernel_time",
+    "normalized_ipc",
+    "replay_events",
+    "simulate",
+    "simulate_l2",
+    "slowdown_vs_baseline",
+    "speedup",
+]

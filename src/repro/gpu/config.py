@@ -1,0 +1,80 @@
+"""GPU configuration mirroring the paper's Tables I and II.
+
+One frozen dataclass collects every structural parameter of the modeled
+Volta-class GPU: SM count (used by the performance model's compute
+side), the L2 organization, the DRAM system, the protected-memory
+geometry, and the per-partition metadata cache sizing. Experiments vary
+a field with :func:`dataclasses.replace` rather than mutating state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import Frequency
+from repro.mem.address import AddressMap
+from repro.mem.dram import DramConfig
+from repro.secure.engine import MetadataCacheConfig
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """One partition's slice of the L2 (two 96 KB banks on Volta)."""
+
+    size_bytes: int = 2 * 96 * 1024
+    line_bytes: int = 128
+    ways: int = 16
+    sector_bytes: int = 32
+    sectored: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ConfigurationError("L2 lines must divide evenly into ways")
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Structural model of the baseline GPU (paper Table I / Table II)."""
+
+    name: str = "volta-like"
+    num_sms: int = 80
+    core_clock: Frequency = Frequency.from_mhz(1132.0)
+    address_map: AddressMap = field(default_factory=AddressMap)
+    l2: L2Config = field(default_factory=L2Config)
+    dram: DramConfig = field(default_factory=DramConfig)
+    metadata_cache: MetadataCacheConfig = field(default_factory=MetadataCacheConfig)
+    #: Security-engine latencies (documented; the bandwidth model does
+    #: not charge them — GPUs hide latency with TLP, per the paper).
+    mac_latency_cycles: int = 40
+    aes_latency_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ConfigurationError("GPU needs at least one SM")
+        if self.dram.num_partitions != self.address_map.num_partitions:
+            raise ConfigurationError(
+                "DRAM and address map disagree on partition count"
+            )
+
+    @property
+    def num_partitions(self) -> int:
+        return self.address_map.num_partitions
+
+    @property
+    def sectors_per_partition(self) -> int:
+        return (
+            self.address_map.partition_bytes // self.address_map.sector_bytes
+        )
+
+    @property
+    def total_l2_bytes(self) -> int:
+        return self.l2.size_bytes * self.num_partitions
+
+    @property
+    def total_metadata_cache_bytes(self) -> int:
+        """PSSM metadata SRAM: 3 caches x 2 kB x partitions (192 kB)."""
+        return 3 * self.metadata_cache.size_bytes * self.num_partitions
+
+
+VOLTA = GpuConfig()

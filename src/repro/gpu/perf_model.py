@@ -1,0 +1,93 @@
+"""Bandwidth-bound performance model.
+
+The paper reports throughput as IPC normalized to an insecure GPU. The
+reproduction maps traffic to performance with the standard roofline
+blend: a kernel that is memory-bound for fraction ``I`` of its time
+slows down in proportion to the extra bytes it must move, while the
+remaining ``1 - I`` is bandwidth-insensitive:
+
+    slowdown = (1 - I) + I * bytes(design) / bytes(no security)
+    IPC_norm = 1 / slowdown
+
+``I`` comes from each benchmark's profile, matching the paper's
+high/medium memory-intensity classification. The model also offers
+absolute kernel-time estimates (compute/memory max) for the power model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.config import GpuConfig
+from repro.gpu.simulator import SimulationResult
+
+
+def slowdown_vs_baseline(
+    total_bytes: int, baseline_bytes: int, memory_intensity: float
+) -> float:
+    """Roofline slowdown of a design over the no-security baseline."""
+    if baseline_bytes <= 0:
+        return 1.0
+    if not 0.0 <= memory_intensity <= 1.0:
+        raise ValueError("memory intensity must be within [0, 1]")
+    ratio = total_bytes / baseline_bytes
+    return (1.0 - memory_intensity) + memory_intensity * ratio
+
+
+def normalized_ipc(
+    result: SimulationResult, baseline: SimulationResult
+) -> float:
+    """IPC of *result* normalized to the insecure *baseline* run."""
+    if result.trace_name != baseline.trace_name:
+        raise ValueError(
+            f"comparing different traces: {result.trace_name} "
+            f"vs {baseline.trace_name}"
+        )
+    return 1.0 / slowdown_vs_baseline(
+        result.total_bytes, baseline.total_bytes, result.memory_intensity
+    )
+
+
+def speedup(result: SimulationResult, reference: SimulationResult,
+            baseline: SimulationResult) -> float:
+    """Relative throughput of *result* over *reference*.
+
+    Both are first normalized against the insecure *baseline*; the paper
+    quotes Plutus-vs-PSSM numbers this way (e.g., +16.86% in Fig. 18).
+    """
+    return normalized_ipc(result, baseline) / normalized_ipc(reference, baseline)
+
+
+@dataclass(frozen=True)
+class KernelTimeEstimate:
+    """Absolute time split of one simulated kernel."""
+
+    compute_seconds: float
+    memory_seconds: float
+
+    @property
+    def seconds(self) -> float:
+        """Roofline kernel time: bound by the slower of the two."""
+        return max(self.compute_seconds, self.memory_seconds)
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_seconds >= self.compute_seconds
+
+
+def estimate_kernel_time(
+    result: SimulationResult, config: GpuConfig, ipc_per_sm: float = 1.0
+) -> KernelTimeEstimate:
+    """Roofline time estimate for one simulation result.
+
+    Compute time assumes each SM retires ``ipc_per_sm`` instructions per
+    cycle; memory time moves the observed bytes at effective DRAM
+    bandwidth. Only ratios of these estimates are meaningful — which is
+    all the power model consumes.
+    """
+    if ipc_per_sm <= 0:
+        raise ValueError("ipc_per_sm must be positive")
+    issue_rate = config.num_sms * ipc_per_sm * config.core_clock.hertz
+    compute = result.instructions / issue_rate
+    memory = config.dram.transfer_time(result.total_bytes)
+    return KernelTimeEstimate(compute_seconds=compute, memory_seconds=memory)

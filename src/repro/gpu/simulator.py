@@ -1,0 +1,270 @@
+"""Trace-driven GPU memory-subsystem simulator.
+
+Two-phase design for experiment throughput:
+
+1. :func:`simulate_l2` pushes a trace through the per-partition sectored
+   L2 banks once, producing a :class:`MemoryEventLog` — the exact
+   sequence of data fills and dirty writebacks each partition's memory
+   controller saw, with sector values attached.
+2. :func:`replay_events` runs that log through any security engine.
+   Because engines sit *behind* the L2, the data-side behaviour is
+   identical across designs; one L2 pass therefore serves every engine
+   in a comparison, which is what makes the figure sweeps cheap.
+
+:func:`simulate` composes both for one-shot use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from enum import Enum
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.gpu.config import GpuConfig
+from repro.mem.cache import CacheConfig, SectoredCache
+from repro.mem.traffic import Stream, TrafficCounter, TrafficReport
+from repro.secure.engine import EngineStats, PartitionEngine
+from repro.workloads.trace import Trace
+
+#: Factory signature every engine exposes for the simulator.
+EngineFactory = Callable[[int, int, TrafficCounter], PartitionEngine]
+
+
+class EventKind(Enum):
+    FILL = "fill"
+    WRITEBACK = "writeback"
+
+
+class MemoryEvent:
+    """One sector-granular DRAM-side event at a partition controller."""
+
+    __slots__ = ("kind", "partition", "sector_index", "values")
+
+    def __init__(self, kind: EventKind, partition: int, sector_index: int,
+                 values: Optional[bytes]) -> None:
+        self.kind = kind
+        self.partition = partition
+        self.sector_index = sector_index
+        self.values = values
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryEvent({self.kind.value} p{self.partition} "
+            f"s{self.sector_index})"
+        )
+
+
+@dataclass
+class L2Stats:
+    """Aggregate L2 behaviour across partitions."""
+
+    accesses: int = 0
+    sector_hits: int = 0
+    sector_misses: int = 0
+
+    @property
+    def sector_hit_rate(self) -> float:
+        total = self.sector_hits + self.sector_misses
+        return self.sector_hits / total if total else 0.0
+
+
+@dataclass
+class MemoryEventLog:
+    """The DRAM-side event stream distilled from one L2 pass."""
+
+    trace_name: str
+    memory_intensity: float
+    instructions: int
+    #: Pre-window write-history depth recorded from the trace profile.
+    counter_warmup_passes: int = 3
+    events: List[MemoryEvent] = field(default_factory=list)
+    fill_sectors: int = 0
+    writeback_sectors: int = 0
+    l2_stats: L2Stats = field(default_factory=L2Stats)
+
+    @property
+    def data_bytes(self) -> int:
+        return 32 * (self.fill_sectors + self.writeback_sectors)
+
+
+@dataclass
+class SimulationResult:
+    """Traffic and engine statistics for one (trace, engine) pair."""
+
+    engine_name: str
+    trace_name: str
+    memory_intensity: float
+    instructions: int
+    traffic: TrafficReport
+    engine_stats: EngineStats
+    l2_stats: L2Stats
+
+    @property
+    def total_bytes(self) -> int:
+        return self.traffic.total_bytes
+
+    @property
+    def metadata_bytes(self) -> int:
+        return self.traffic.metadata_bytes
+
+
+def simulate_l2(trace: Trace, config: GpuConfig) -> MemoryEventLog:
+    """Run the trace through the sectored L2, logging DRAM-side events."""
+    amap = config.address_map
+    l2_banks = [
+        SectoredCache(
+            CacheConfig(
+                name=f"l2[{p}]",
+                size_bytes=config.l2.size_bytes,
+                line_bytes=config.l2.line_bytes,
+                ways=config.l2.ways,
+                sector_bytes=config.l2.sector_bytes,
+                sectored=config.l2.sectored,
+            )
+        )
+        for p in range(config.num_partitions)
+    ]
+    #: Values of currently dirty L2 sectors: (partition, line, slot) -> bytes.
+    dirty_values: Dict[Tuple[int, int, int], Optional[bytes]] = {}
+    log = MemoryEventLog(
+        trace_name=trace.name,
+        memory_intensity=trace.memory_intensity,
+        instructions=trace.instructions,
+        counter_warmup_passes=trace.counter_warmup_passes,
+    )
+    events = log.events
+
+    def emit_writebacks(partition: int, line_addr: int, dirty_mask: int) -> None:
+        for slot in range(4):
+            if not (dirty_mask >> slot) & 1:
+                continue
+            values = dirty_values.pop((partition, line_addr, slot), None)
+            sector = amap.local_sector_index(line_addr + slot * 32)
+            events.append(
+                MemoryEvent(EventKind.WRITEBACK, partition, sector, values)
+            )
+            log.writeback_sectors += 1
+
+    for access in trace:
+        partition = amap.partition_of(access.line_addr)
+        bank = l2_banks[partition]
+        if access.write:
+            # Full-sector coalesced writes allocate without fetching.
+            result = bank.access(access.line_addr, access.sector_mask, write=True)
+            for ev in result.evictions:
+                emit_writebacks(partition, ev.line_addr, ev.dirty_mask)
+            for slot in access.sectors():
+                dirty_values[(partition, access.line_addr, slot)] = (
+                    access.value_for(slot)
+                )
+        else:
+            result = bank.access(access.line_addr, access.sector_mask, write=False)
+            for ev in result.evictions:
+                emit_writebacks(partition, ev.line_addr, ev.dirty_mask)
+            for slot in access.sectors():
+                if not (result.miss_mask >> slot) & 1:
+                    continue
+                sector = amap.local_sector_index(access.line_addr + slot * 32)
+                events.append(
+                    MemoryEvent(
+                        EventKind.FILL, partition, sector, access.value_for(slot)
+                    )
+                )
+                log.fill_sectors += 1
+
+    # Kernel end: drain dirty data.
+    for partition, bank in enumerate(l2_banks):
+        for ev in bank.flush():
+            emit_writebacks(partition, ev.line_addr, ev.dirty_mask)
+
+    if dirty_values:
+        raise SimulationError(
+            f"{len(dirty_values)} dirty sector values were never drained"
+        )
+
+    for bank in l2_banks:
+        log.l2_stats.accesses += bank.stats.accesses
+        log.l2_stats.sector_hits += bank.stats.sector_hits
+        log.l2_stats.sector_misses += bank.stats.sector_misses
+    return log
+
+
+def _merge_stats(per_partition: List[EngineStats]) -> EngineStats:
+    merged = EngineStats()
+    for stats in per_partition:
+        for f in fields(EngineStats):
+            setattr(merged, f.name, getattr(merged, f.name) + getattr(stats, f.name))
+    return merged
+
+
+def replay_events(
+    log: MemoryEventLog,
+    engine_factory: EngineFactory,
+    config: GpuConfig,
+    counter_warmup_passes: "int | None" = None,
+) -> SimulationResult:
+    """Run a logged event stream through one security-engine design.
+
+    ``counter_warmup_passes`` models the execution history before the
+    simulated window: each pass silently replays the window's writeback
+    sectors through the engines' ``warm_counters`` hook, advancing
+    encryption-counter state (compact-counter saturation, common-counter
+    region demotion, split-counter growth) the way the billions of
+    pre-window instructions would have, without contributing any
+    measured traffic. Pass 0 for a cold-counter run; the default
+    (``None``) takes the depth recorded in the event log, which
+    benchmark profiles set to match how iterative the workload is.
+    """
+    if counter_warmup_passes is None:
+        counter_warmup_passes = log.counter_warmup_passes
+    if counter_warmup_passes < 0:
+        raise ValueError("warmup passes cannot be negative")
+    traffic = TrafficCounter()
+    sectors_per_partition = config.sectors_per_partition
+    engines: Dict[int, PartitionEngine] = {}
+
+    def engine_for(partition: int) -> PartitionEngine:
+        engine = engines.get(partition)
+        if engine is None:
+            engine = engine_factory(partition, sectors_per_partition, traffic)
+            engines[partition] = engine
+        return engine
+
+    for _ in range(counter_warmup_passes):
+        for event in log.events:
+            if event.kind is EventKind.WRITEBACK:
+                engine_for(event.partition).warm_counters(event.sector_index)
+
+    for event in log.events:
+        engine = engine_for(event.partition)
+        if event.kind is EventKind.FILL:
+            traffic.record(Stream.DATA_READ, 32, transactions=1)
+            engine.on_fill(event.sector_index, event.values)
+        else:
+            traffic.record(Stream.DATA_WRITE, 32, transactions=1)
+            engine.on_writeback(event.sector_index, event.values)
+
+    engine_name = "no-traffic"
+    for engine in engines.values():
+        engine.finalize()
+        engine_name = engine.name
+
+    return SimulationResult(
+        engine_name=engine_name,
+        trace_name=log.trace_name,
+        memory_intensity=log.memory_intensity,
+        instructions=log.instructions,
+        traffic=traffic.report(),
+        engine_stats=_merge_stats([e.stats for e in engines.values()]),
+        l2_stats=log.l2_stats,
+    )
+
+
+def simulate(
+    trace: Trace,
+    engine_factory: EngineFactory,
+    config: GpuConfig,
+) -> SimulationResult:
+    """One-shot convenience: L2 pass plus engine replay."""
+    return replay_events(simulate_l2(trace, config), engine_factory, config)

@@ -1,0 +1,65 @@
+"""CLI entry: ``python -m repro.harness [experiment ...]``.
+
+Runs the requested experiments (default: all) and prints their reports.
+Useful flags: ``--length`` to control trace size, ``--benchmarks`` to
+restrict the roster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.report import render_experiment
+from repro.harness.runner import DEFAULT_TRACE_LENGTH, ExperimentContext
+from repro.workloads.benchmarks import benchmark_names
+
+
+def main(argv=None) -> int:
+    """Parse arguments, run the selected experiments, print reports."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Reproduce the Plutus paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help=f"which experiments to run (default all): {sorted(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--length",
+        type=int,
+        default=DEFAULT_TRACE_LENGTH,
+        help="trace length in coalesced accesses per benchmark",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2023, help="trace generation seed"
+    )
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        default=None,
+        choices=benchmark_names(),
+        help="restrict to a subset of the benchmark roster",
+    )
+    args = parser.parse_args(argv)
+
+    selected = args.experiments or sorted(EXPERIMENTS)
+    unknown = [e for e in selected if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    ctx = ExperimentContext(
+        trace_length=args.length,
+        seed=args.seed,
+        benchmarks=args.benchmarks or benchmark_names(),
+    )
+    for key in selected:
+        print(render_experiment(EXPERIMENTS[key](ctx)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints the same rows/series the paper's figures plot, as
+aligned ASCII tables plus simple horizontal bars for the headline series
+— good enough to eyeball who wins and by what factor, with no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from repro.harness.experiments import ExperimentResult
+
+_BAR_WIDTH = 40
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render records as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_format_value(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(r[i]) for r in rendered))
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(w) for cell, w in zip(r, widths)) for r in rendered
+    )
+    return "\n".join([header, rule, body])
+
+
+def format_bars(series: Mapping[str, float], reference: float = 1.0) -> str:
+    """Horizontal bars for a keyed series (e.g. speedup per benchmark)."""
+    if not series:
+        return "(no data)"
+    peak = max(max(series.values()), reference, 1e-9)
+    lines = []
+    label_width = max(len(k) for k in series)
+    for key, value in series.items():
+        bar = "#" * max(1, int(round(_BAR_WIDTH * value / peak)))
+        lines.append(f"{key.ljust(label_width)}  {value:7.4f}  {bar}")
+    return "\n".join(lines)
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """Full text report for one experiment."""
+    parts = [
+        f"== {result.experiment_id}: {result.title} ==",
+        format_table(result.rows),
+    ]
+    if result.summary:
+        summary = ", ".join(
+            f"{k}={_format_value(v)}" for k, v in result.summary.items()
+        )
+        parts.append(f"summary: {summary}")
+    if result.paper_reference:
+        reference = ", ".join(
+            f"{k}={_format_value(v)}" for k, v in result.paper_reference.items()
+        )
+        parts.append(f"paper:   {reference}")
+    if result.notes:
+        parts.append(f"notes:   {result.notes}")
+    return "\n".join(parts) + "\n"
+
+
+def render_all(results: Dict[str, ExperimentResult]) -> str:
+    """Concatenate the reports of a full experiment suite."""
+    return "\n".join(render_experiment(r) for r in results.values())

@@ -1,0 +1,172 @@
+"""Experiment execution context with caching.
+
+All figure reproductions share the same expensive artifacts: benchmark
+traces, their L2 event logs (one pass per trace regardless of how many
+engines are compared), and per-engine simulation results. The
+:class:`ExperimentContext` memoizes all three, so running the full
+figure suite costs one L2 pass and one engine replay per (trace,
+engine) pair.
+
+Engine design points are addressed by *keys* (e.g. ``"plutus"``,
+``"pssm"``, ``"plutus:gran32"``) so experiments stay declarative and
+results cache across figures.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.gpu.config import VOLTA, GpuConfig
+from repro.gpu.simulator import (
+    EngineFactory,
+    MemoryEventLog,
+    SimulationResult,
+    replay_events,
+    simulate_l2,
+)
+from repro.metadata.compact import (
+    DESIGN_2BIT,
+    DESIGN_3BIT,
+    DESIGN_3BIT_ADAPTIVE,
+)
+from repro.metadata.layout import GranularityDesign
+from repro.secure.common_counters import CommonCountersEngine
+from repro.secure.engine import NoSecurityEngine
+from repro.secure.plutus import PlutusEngine
+from repro.secure.pssm import PssmEngine
+from repro.secure.value_cache import ValueCacheConfig
+from repro.workloads.benchmarks import benchmark_names, build_trace
+from repro.workloads.trace import Trace
+
+#: Default trace length; override with the REPRO_TRACE_LEN environment
+#: variable (tests use small values, full runs larger ones).
+DEFAULT_TRACE_LENGTH = int(os.environ.get("REPRO_TRACE_LEN", "30000"))
+
+
+def _engine_factories() -> Dict[str, EngineFactory]:
+    """The named design points every experiment draws from."""
+
+    def plutus_variant(**kwargs) -> EngineFactory:
+        return lambda p, s, t: PlutusEngine(p, s, t, **kwargs)
+
+    factories: Dict[str, EngineFactory] = {
+        "nosec": lambda p, s, t: NoSecurityEngine(p, s, t),
+        "pssm": lambda p, s, t: PssmEngine(p, s, t),
+        "pssm:4B-mac": lambda p, s, t: PssmEngine(p, s, t, mac_tag_bytes=4),
+        "common-counters": lambda p, s, t: CommonCountersEngine(p, s, t),
+        "plutus": plutus_variant(),
+        # Fig. 15: value verification alone on the PSSM organization.
+        "plutus:value-only": plutus_variant(
+            design=GranularityDesign.BLOCK_128, compact_config=None
+        ),
+        # Fig. 16: the three granularity designs, nothing else enabled.
+        "gran:128B": plutus_variant(
+            design=GranularityDesign.BLOCK_128,
+            value_cache_config=None,
+            compact_config=None,
+        ),
+        "gran:32B-leaf": plutus_variant(
+            design=GranularityDesign.LEAF_32_TREE_128,
+            value_cache_config=None,
+            compact_config=None,
+        ),
+        "gran:32B-all": plutus_variant(
+            design=GranularityDesign.ALL_32,
+            value_cache_config=None,
+            compact_config=None,
+        ),
+        # Fig. 17: the three compact-counter designs on PSSM granularity.
+        "compact:2bit": plutus_variant(
+            design=GranularityDesign.BLOCK_128,
+            value_cache_config=None,
+            compact_config=DESIGN_2BIT,
+        ),
+        "compact:3bit": plutus_variant(
+            design=GranularityDesign.BLOCK_128,
+            value_cache_config=None,
+            compact_config=DESIGN_3BIT,
+        ),
+        "compact:adaptive": plutus_variant(
+            design=GranularityDesign.BLOCK_128,
+            value_cache_config=None,
+            compact_config=DESIGN_3BIT_ADAPTIVE,
+        ),
+        # Fig. 20: integrity-tree traffic eliminated (MGX/TNPU-style).
+        "plutus:no-tree": plutus_variant(eliminate_tree=True),
+        "pssm:no-tree": plutus_variant(
+            design=GranularityDesign.BLOCK_128,
+            value_cache_config=None,
+            compact_config=None,
+            eliminate_tree=True,
+        ),
+        # Ablations.
+        "pssm:eager": lambda p, s, t: PssmEngine(p, s, t, lazy_update=False),
+    }
+    for entries in (64, 128, 256, 512, 1024):
+        factories[f"plutus:vcache-{entries}"] = plutus_variant(
+            value_cache_config=ValueCacheConfig(entries=entries)
+        )
+    for fraction in (0.0, 0.125, 0.25, 0.5):
+        factories[f"plutus:pinned-{fraction}"] = plutus_variant(
+            value_cache_config=ValueCacheConfig(pinned_fraction=fraction)
+        )
+    return factories
+
+
+@dataclass
+class ExperimentContext:
+    """Caching runner shared by every experiment."""
+
+    config: GpuConfig = VOLTA
+    trace_length: int = DEFAULT_TRACE_LENGTH
+    seed: int = 2023
+    benchmarks: List[str] = field(default_factory=benchmark_names)
+
+    def __post_init__(self) -> None:
+        self._traces: Dict[str, Trace] = {}
+        self._logs: Dict[str, MemoryEventLog] = {}
+        self._results: Dict[str, SimulationResult] = {}
+        self.factories = _engine_factories()
+
+    def trace(self, benchmark: str) -> Trace:
+        if benchmark not in self._traces:
+            self._traces[benchmark] = build_trace(
+                benchmark, length=self.trace_length, seed=self.seed
+            )
+        return self._traces[benchmark]
+
+    def event_log(self, benchmark: str) -> MemoryEventLog:
+        if benchmark not in self._logs:
+            self._logs[benchmark] = simulate_l2(self.trace(benchmark), self.config)
+        return self._logs[benchmark]
+
+    def run(self, benchmark: str, engine_key: str) -> SimulationResult:
+        """Simulate one (benchmark, engine) pair, memoized."""
+        cache_key = f"{benchmark}|{engine_key}"
+        if cache_key not in self._results:
+            factory = self.factories.get(engine_key)
+            if factory is None:
+                raise KeyError(
+                    f"unknown engine {engine_key!r}; known: "
+                    f"{sorted(self.factories)}"
+                )
+            self._results[cache_key] = replay_events(
+                self.event_log(benchmark), factory, self.config
+            )
+        return self._results[cache_key]
+
+    def run_custom(
+        self,
+        benchmark: str,
+        key: str,
+        factory: EngineFactory,
+    ) -> SimulationResult:
+        """Simulate with an ad-hoc engine factory, memoized under *key*."""
+        cache_key = f"{benchmark}|{key}"
+        if cache_key not in self._results:
+            self._results[cache_key] = replay_events(
+                self.event_log(benchmark), factory, self.config
+            )
+        return self._results[cache_key]

@@ -1,0 +1,170 @@
+"""Sensitivity and robustness sweeps beyond the paper's figures.
+
+The paper reports single-configuration numbers; a reproduction should
+also show they are *stable*. This module sweeps the axes most likely to
+move the headline result:
+
+* :func:`sweep_seeds` — trace-generation randomness: the Plutus-vs-PSSM
+  speedup should vary little across seeds (it is a property of the
+  workload class, not of one drawn trace);
+* :func:`sweep_trace_length` — window-size convergence: the speedup
+  should stabilize as the simulated window grows;
+* :func:`sweep_metadata_cache` — the 2 kB per-partition metadata caches
+  of Table II: how sensitive each design is to that SRAM budget
+  (Plutus's fine-grained metadata makes better use of small caches);
+* :func:`sweep_memory_intensity` — the performance-model blend: gains
+  scale with how memory-bound the kernel is, vanishing at I = 0.
+
+Each sweep returns plain row dictionaries renderable with
+:func:`repro.harness.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.gpu.config import GpuConfig, VOLTA
+from repro.gpu.perf_model import normalized_ipc, slowdown_vs_baseline
+from repro.gpu.simulator import replay_events, simulate_l2
+from repro.harness.runner import ExperimentContext
+from repro.secure.engine import MetadataCacheConfig, NoSecurityEngine
+from repro.secure.plutus import PlutusEngine
+from repro.secure.pssm import PssmEngine
+from repro.workloads.benchmarks import build_trace
+
+
+def _speedup_for_trace(trace, config: GpuConfig = VOLTA,
+                       cache_config: Optional[MetadataCacheConfig] = None):
+    """(pssm_ipc, plutus_ipc, speedup) for one prepared trace."""
+    log = simulate_l2(trace, config)
+    kwargs = {}
+    if cache_config is not None:
+        kwargs["cache_config"] = cache_config
+    base = replay_events(log, lambda p, s, t: NoSecurityEngine(p, s, t), config)
+    pssm = replay_events(
+        log, lambda p, s, t: PssmEngine(p, s, t, **kwargs), config
+    )
+    plutus = replay_events(
+        log, lambda p, s, t: PlutusEngine(p, s, t, **kwargs), config
+    )
+    pssm_ipc = normalized_ipc(pssm, base)
+    plutus_ipc = normalized_ipc(plutus, base)
+    return pssm_ipc, plutus_ipc, plutus_ipc / pssm_ipc
+
+
+def sweep_seeds(
+    benchmark: str,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    trace_length: int = 8000,
+) -> List[Dict[str, object]]:
+    """Plutus-vs-PSSM speedup across trace-generation seeds."""
+    rows: List[Dict[str, object]] = []
+    for seed in seeds:
+        trace = build_trace(benchmark, length=trace_length, seed=seed)
+        pssm, plutus, speedup = _speedup_for_trace(trace)
+        rows.append(
+            {
+                "seed": seed,
+                "pssm_ipc": pssm,
+                "plutus_ipc": plutus,
+                "speedup": speedup,
+            }
+        )
+    return rows
+
+
+def sweep_trace_length(
+    benchmark: str,
+    lengths: Sequence[int] = (2000, 4000, 8000, 16000),
+    seed: int = 2023,
+) -> List[Dict[str, object]]:
+    """Window-size convergence of the headline speedup."""
+    rows: List[Dict[str, object]] = []
+    for length in lengths:
+        trace = build_trace(benchmark, length=length, seed=seed)
+        _pssm, _plutus, speedup = _speedup_for_trace(trace)
+        rows.append({"length": length, "speedup": speedup})
+    return rows
+
+
+def sweep_metadata_cache(
+    benchmark: str,
+    sizes: Sequence[int] = (1024, 2048, 4096, 8192),
+    trace_length: int = 8000,
+    seed: int = 2023,
+) -> List[Dict[str, object]]:
+    """Sensitivity to the per-partition metadata cache budget."""
+    trace = build_trace(benchmark, length=trace_length, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        cache_config = MetadataCacheConfig(size_bytes=size)
+        pssm, plutus, speedup = _speedup_for_trace(
+            trace, cache_config=cache_config
+        )
+        rows.append(
+            {
+                "cache_bytes": size,
+                "pssm_ipc": pssm,
+                "plutus_ipc": plutus,
+                "speedup": speedup,
+            }
+        )
+    return rows
+
+
+def sweep_memory_intensity(
+    ctx: ExperimentContext,
+    benchmark: str,
+    intensities: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> List[Dict[str, object]]:
+    """How the roofline blend maps traffic into performance.
+
+    Re-uses the already-simulated traffic of *benchmark* and re-blends
+    it at different memory intensities, isolating the performance-model
+    assumption from the traffic measurement.
+    """
+    base = ctx.run(benchmark, "nosec")
+    pssm = ctx.run(benchmark, "pssm")
+    plutus = ctx.run(benchmark, "plutus")
+    rows: List[Dict[str, object]] = []
+    for intensity in intensities:
+        pssm_ipc = 1.0 / slowdown_vs_baseline(
+            pssm.total_bytes, base.total_bytes, intensity
+        )
+        plutus_ipc = 1.0 / slowdown_vs_baseline(
+            plutus.total_bytes, base.total_bytes, intensity
+        )
+        rows.append(
+            {
+                "memory_intensity": intensity,
+                "pssm_ipc": pssm_ipc,
+                "plutus_ipc": plutus_ipc,
+                "speedup": plutus_ipc / pssm_ipc,
+            }
+        )
+    return rows
+
+
+def sweep_partitions(
+    benchmark: str,
+    partition_counts: Sequence[int] = (8, 16, 32),
+    trace_length: int = 6000,
+    seed: int = 2023,
+) -> List[Dict[str, object]]:
+    """Scalability across memory-partition counts.
+
+    Smaller GPUs concentrate the same metadata into fewer engines with
+    the same per-partition SRAM; the relative Plutus win should persist.
+    """
+    rows: List[Dict[str, object]] = []
+    trace = build_trace(benchmark, length=trace_length, seed=seed)
+    for count in partition_counts:
+        config = replace(
+            VOLTA,
+            address_map=replace(VOLTA.address_map, num_partitions=count),
+            dram=replace(VOLTA.dram, num_partitions=count),
+        )
+        _pssm, _plutus, speedup = _speedup_for_trace(trace, config=config)
+        rows.append({"partitions": count, "speedup": speedup})
+    return rows

@@ -1,0 +1,39 @@
+"""Memory substrate: addressing, sectored caches, DRAM model, traffic."""
+
+from repro.mem.address import DEFAULT_ADDRESS_MAP, AddressMap
+from repro.mem.backing import BackingStore
+from repro.mem.cache import (
+    AccessResult,
+    CacheConfig,
+    CacheStats,
+    Eviction,
+    SectoredCache,
+)
+from repro.mem.dram import DEFAULT_DRAM, DramConfig
+from repro.mem.traffic import (
+    COUNTER_STREAMS,
+    METADATA_STREAMS,
+    TREE_STREAMS,
+    Stream,
+    TrafficCounter,
+    TrafficReport,
+)
+
+__all__ = [
+    "AccessResult",
+    "AddressMap",
+    "BackingStore",
+    "CacheConfig",
+    "CacheStats",
+    "COUNTER_STREAMS",
+    "DEFAULT_ADDRESS_MAP",
+    "DEFAULT_DRAM",
+    "DramConfig",
+    "Eviction",
+    "METADATA_STREAMS",
+    "SectoredCache",
+    "Stream",
+    "TREE_STREAMS",
+    "TrafficCounter",
+    "TrafficReport",
+]

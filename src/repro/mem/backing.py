@@ -1,0 +1,81 @@
+"""Sparse byte-addressable backing store.
+
+Functional mode (real encryption, real MACs, tamper-detection tests)
+needs an actual memory image for ciphertext, counters, MACs, and tree
+nodes. The store is sparse — untouched regions read as zero — so a 4 GiB
+protected range costs only what the test actually writes.
+
+The store deliberately has *no* security: it models the untrusted DRAM
+an attacker can read and modify at will, and exposes :meth:`corrupt` for
+the attack harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class BackingStore:
+    """Sparse memory image organized as fixed-size chunks."""
+
+    def __init__(self, size_bytes: int, chunk_bytes: int = 4096) -> None:
+        if size_bytes <= 0 or chunk_bytes <= 0:
+            raise ValueError("sizes must be positive")
+        self.size_bytes = size_bytes
+        self.chunk_bytes = chunk_bytes
+        self._chunks: Dict[int, bytearray] = {}
+
+    def _check_range(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > self.size_bytes:
+            raise ValueError(
+                f"range [{address:#x}, {address + length:#x}) outside store "
+                f"of {self.size_bytes:#x} bytes"
+            )
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read *length* bytes; unwritten space reads as zeros."""
+        self._check_range(address, length)
+        out = bytearray(length)
+        pos = 0
+        while pos < length:
+            addr = address + pos
+            chunk_id, offset = divmod(addr, self.chunk_bytes)
+            take = min(length - pos, self.chunk_bytes - offset)
+            chunk = self._chunks.get(chunk_id)
+            if chunk is not None:
+                out[pos : pos + take] = chunk[offset : offset + take]
+            pos += take
+        return bytes(out)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write *data* at *address*."""
+        self._check_range(address, len(data))
+        pos = 0
+        while pos < len(data):
+            addr = address + pos
+            chunk_id, offset = divmod(addr, self.chunk_bytes)
+            take = min(len(data) - pos, self.chunk_bytes - offset)
+            chunk = self._chunks.get(chunk_id)
+            if chunk is None:
+                chunk = bytearray(self.chunk_bytes)
+                self._chunks[chunk_id] = chunk
+            chunk[offset : offset + take] = data[pos : pos + take]
+            pos += take
+
+    def corrupt(self, address: int, xor_mask: bytes) -> None:
+        """Attacker primitive: XOR *xor_mask* into memory at *address*.
+
+        Flipping ciphertext bits in place models the physical tampering
+        the threat model defends against.
+        """
+        current = self.read(address, len(xor_mask))
+        self.write(address, bytes(a ^ b for a, b in zip(current, xor_mask)))
+
+    def splice(self, dst: int, src: int, length: int) -> None:
+        """Attacker primitive: copy ciphertext between addresses."""
+        self.write(dst, self.read(src, length))
+
+    @property
+    def touched_bytes(self) -> int:
+        """Bytes of storage actually materialized (for tests)."""
+        return len(self._chunks) * self.chunk_bytes

@@ -1,0 +1,274 @@
+"""Set-associative sectored caches.
+
+All on-chip storage in the model — L2 data banks and the per-partition
+metadata caches (counter / MAC / BMT / compact layers) — is an instance
+of :class:`SectoredCache`. Lines carry per-sector valid and dirty bits;
+an access names a line plus a sector mask, and the cache answers which
+sectors hit, which must be fetched, and what got evicted.
+
+Sectoring is load-bearing for the paper: PSSM's central claim is that
+fetching only the touched 32-byte sectors of a metadata line avoids
+useless traffic, while the BMT's 128-byte hashing granularity forces the
+counter cache to fetch whole lines anyway — the tension Plutus's
+finer-granularity design resolves. Setting ``sectored=False`` reproduces
+a conventional whole-line cache for the ablations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.bitops import popcount
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Static geometry of one cache instance."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int = 128
+    ways: int = 4
+    sector_bytes: int = 32
+    sectored: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.size_bytes % self.line_bytes != 0:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size_bytes} not a multiple of line size"
+            )
+        if self.line_bytes % self.sector_bytes != 0:
+            raise ConfigurationError(
+                f"{self.name}: line size must be a multiple of sector size"
+            )
+        num_lines = self.size_bytes // self.line_bytes
+        if num_lines % self.ways != 0:
+            raise ConfigurationError(
+                f"{self.name}: {num_lines} lines not divisible by {self.ways} ways"
+            )
+        # Set counts need not be powers of two (Volta's L2 banks have 96
+        # sets); indexing is by modulo, which handles any count.
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.ways
+
+    @property
+    def sectors_per_line(self) -> int:
+        return self.line_bytes // self.sector_bytes
+
+    @property
+    def full_mask(self) -> int:
+        return (1 << self.sectors_per_line) - 1
+
+
+@dataclass
+class CacheStats:
+    """Aggregate hit/miss/eviction counters for one cache."""
+
+    accesses: int = 0
+    sector_hits: int = 0
+    sector_misses: int = 0
+    line_evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def sector_hit_rate(self) -> float:
+        probed = self.sector_hits + self.sector_misses
+        return self.sector_hits / probed if probed else 0.0
+
+
+@dataclass
+class Eviction:
+    """A line pushed out of the cache, with its dirty sectors."""
+
+    line_addr: int
+    dirty_mask: int
+
+    @property
+    def dirty_sector_count(self) -> int:
+        return popcount(self.dirty_mask)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access.
+
+    ``miss_mask`` names the sectors the caller must fetch from the next
+    level; ``evictions`` are writebacks the caller must perform.
+    """
+
+    hit_mask: int
+    miss_mask: int
+    evictions: List[Eviction] = field(default_factory=list)
+
+    @property
+    def is_full_hit(self) -> bool:
+        return self.miss_mask == 0
+
+    @property
+    def miss_sector_count(self) -> int:
+        return popcount(self.miss_mask)
+
+    @property
+    def hit_sector_count(self) -> int:
+        return popcount(self.hit_mask)
+
+
+class _Line:
+    __slots__ = ("valid_mask", "dirty_mask")
+
+    def __init__(self) -> None:
+        self.valid_mask = 0
+        self.dirty_mask = 0
+
+
+class SectoredCache:
+    """LRU set-associative cache with per-sector valid/dirty state.
+
+    Addresses are opaque non-negative integers; callers may present
+    physical addresses, partition-local metadata addresses, or abstract
+    node indices — the cache only requires that equal lines have equal
+    ``line_addr``.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        # One OrderedDict per set: line_addr -> _Line, LRU order = insertion
+        # order with move_to_end on touch.
+        self._sets: List["OrderedDict[int, _Line]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+
+    def _set_index(self, line_addr: int) -> int:
+        """XOR-folded set index.
+
+        Plain modulo indexing pathologically conflicts for metadata
+        address spaces whose regions (e.g. integrity-tree levels) start
+        at large power-of-two offsets — every level of a tree walk would
+        land in one set and the walk would thrash itself. Folding the
+        upper line-index bits into the index (as real cache hash
+        functions do) decorrelates those strides.
+        """
+        line = line_addr // self.config.line_bytes
+        sets = self.config.num_sets
+        if sets == 1:
+            return 0  # fully-associative: the fold below cannot shrink line
+        folded = 0
+        while line:
+            folded ^= line % sets
+            line //= sets
+        # XOR of residues can exceed sets-1 when the set count is not a
+        # power of two (e.g. Volta's 96-set L2 banks); reduce once more.
+        return folded % sets
+
+    def _normalize_mask(self, sector_mask: int) -> int:
+        mask = sector_mask & self.config.full_mask
+        if mask == 0:
+            raise ValueError("sector mask selects no sectors")
+        if not self.config.sectored:
+            # Non-sectored caches always operate on the whole line.
+            return self.config.full_mask
+        return mask
+
+    def probe(self, line_addr: int, sector_mask: int) -> Tuple[int, int]:
+        """Hit/miss masks without updating state or statistics."""
+        mask = self._normalize_mask(sector_mask)
+        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        if line is None:
+            return 0, mask
+        hit = mask & line.valid_mask
+        return hit, mask & ~line.valid_mask
+
+    def access(
+        self, line_addr: int, sector_mask: int, write: bool = False
+    ) -> AccessResult:
+        """Look up *sector_mask* of the line, allocating on miss.
+
+        Missing sectors are filled (the caller is responsible for
+        generating the corresponding fetch traffic). On a write, the
+        touched sectors are marked dirty. Victim lines surface in the
+        result so the caller can issue writebacks for dirty sectors.
+        """
+        mask = self._normalize_mask(sector_mask)
+        self.stats.accesses += 1
+        set_ = self._sets[self._set_index(line_addr)]
+        evictions: List[Eviction] = []
+
+        line = set_.get(line_addr)
+        if line is None:
+            if len(set_) >= self.config.ways:
+                victim_addr, victim = set_.popitem(last=False)
+                self.stats.line_evictions += 1
+                if victim.dirty_mask:
+                    self.stats.dirty_evictions += 1
+                    evictions.append(Eviction(victim_addr, victim.dirty_mask))
+            line = _Line()
+            set_[line_addr] = line
+        else:
+            set_.move_to_end(line_addr)
+
+        hit_mask = mask & line.valid_mask
+        miss_mask = mask & ~line.valid_mask
+        self.stats.sector_hits += popcount(hit_mask)
+        self.stats.sector_misses += popcount(miss_mask)
+
+        line.valid_mask |= mask
+        if write:
+            line.dirty_mask |= mask
+
+        return AccessResult(hit_mask=hit_mask, miss_mask=miss_mask, evictions=evictions)
+
+    def fill(self, line_addr: int, sector_mask: int) -> AccessResult:
+        """Install sectors without counting a demand access (prefetch/fill)."""
+        saved = self.stats.accesses
+        result = self.access(line_addr, sector_mask, write=False)
+        self.stats.accesses = saved
+        return result
+
+    def mark_dirty(self, line_addr: int, sector_mask: int) -> None:
+        """Set dirty bits on already-resident sectors."""
+        line = self._sets[self._set_index(line_addr)].get(line_addr)
+        if line is not None:
+            line.dirty_mask |= sector_mask & line.valid_mask
+
+    def contains(self, line_addr: int, sector_mask: int = -1) -> bool:
+        """True if all selected sectors of the line are resident."""
+        hit, miss = self.probe(line_addr, sector_mask & self.config.full_mask or self.config.full_mask)
+        return miss == 0 and hit != 0
+
+    def invalidate(self, line_addr: int) -> Optional[Eviction]:
+        """Drop a line, returning its dirty sectors if any."""
+        set_ = self._sets[self._set_index(line_addr)]
+        line = set_.pop(line_addr, None)
+        if line is None:
+            return None
+        if line.dirty_mask:
+            return Eviction(line_addr, line.dirty_mask)
+        return None
+
+    def flush(self) -> List[Eviction]:
+        """Empty the cache, returning every dirty line for writeback."""
+        dirty: List[Eviction] = []
+        for set_ in self._sets:
+            for addr, line in set_.items():
+                if line.dirty_mask:
+                    dirty.append(Eviction(addr, line.dirty_mask))
+            set_.clear()
+        return dirty
+
+    def resident_lines(self) -> Dict[int, int]:
+        """Map of resident line address -> valid sector mask (for tests)."""
+        out: Dict[int, int] = {}
+        for set_ in self._sets:
+            for addr, line in set_.items():
+                out[addr] = line.valid_mask
+        return out

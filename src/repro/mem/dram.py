@@ -1,0 +1,55 @@
+"""DRAM bandwidth model.
+
+The reproduction abandons cycle-level DRAM timing (bank conflicts, row
+hits) in favour of a calibrated bandwidth model: every 32-byte sector
+transaction costs its bytes against the partition's share of the 868 GB/s
+aggregate (Table I), de-rated by an achievable-efficiency factor. This is
+the level of fidelity the paper's results actually depend on — all of its
+deltas are traffic-volume effects, not scheduling effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import Bandwidth
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Aggregate DRAM parameters for the modeled board."""
+
+    peak_bandwidth: Bandwidth = Bandwidth.from_gb_per_s(868.0)
+    num_partitions: int = 32
+    #: Fraction of peak a real access stream achieves (row misses,
+    #: refresh, bus turnaround). 0.75 is typical for HBM2-class parts.
+    efficiency: float = 0.75
+    transaction_bytes: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.num_partitions <= 0:
+            raise ValueError("need at least one partition")
+
+    @property
+    def effective_bandwidth(self) -> Bandwidth:
+        return Bandwidth(self.peak_bandwidth.bytes_per_second * self.efficiency)
+
+    @property
+    def per_partition_bandwidth(self) -> Bandwidth:
+        return Bandwidth(
+            self.effective_bandwidth.bytes_per_second / self.num_partitions
+        )
+
+    def transfer_time(self, total_bytes: int) -> float:
+        """Seconds to move *total_bytes* at effective aggregate bandwidth."""
+        return total_bytes / self.effective_bandwidth.bytes_per_second
+
+    def transactions_for(self, nbytes: int) -> int:
+        """Number of burst transactions to move *nbytes*."""
+        q, r = divmod(nbytes, self.transaction_bytes)
+        return q + (1 if r else 0)
+
+
+DEFAULT_DRAM = DramConfig()

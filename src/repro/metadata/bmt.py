@@ -1,0 +1,283 @@
+"""Bonsai Merkle Tree geometry and cached traversal.
+
+The BMT protects the freshness of the encryption counters: its leaves
+are counter blocks, every tree node is a block of 8-byte hashes of its
+children, and the root stays on-chip. Two concerns are separated here:
+
+* :class:`BmtGeometry` — pure arithmetic: level sizes, parent/child
+  indices, node addresses in a flat metadata space, total storage. This
+  is where the paper's granularity trade-off lives: shrinking the node
+  from 128 B to 32 B quarters the arity, which grows the tree taller and
+  larger (145.125 kB -> 1.33 MB per GPU in the paper's Section IV-F) but
+  makes every fetch a single 32 B transaction.
+* :class:`BmtTraversal` — the cached walk: verification climbs from the
+  leaf's parent until the first cache hit (a hit is trusted, as if it
+  were the root); updates follow the *lazy* scheme, dirtying the lowest
+  node and propagating hashes upward only when dirty nodes are evicted.
+  An eager variant is provided for the ablation study.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.mem.cache import SectoredCache
+from repro.mem.traffic import Stream, TrafficCounter
+
+
+@dataclass(frozen=True)
+class BmtGeometry:
+    """Shape of one partition's integrity tree."""
+
+    num_leaves: int
+    arity: int = 16
+    node_bytes: int = 128
+    hash_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.num_leaves <= 0:
+            raise ConfigurationError("tree needs at least one leaf")
+        if self.arity < 2:
+            raise ConfigurationError("arity must be at least 2")
+        if self.node_bytes < self.arity * self.hash_bytes:
+            raise ConfigurationError(
+                f"{self.node_bytes} B node cannot hold {self.arity} "
+                f"hashes of {self.hash_bytes} B"
+            )
+
+    @property
+    def level_sizes(self) -> Tuple[int, ...]:
+        """Node counts for levels 1..root (level 0 = leaves, excluded).
+
+        Level h has ceil(leaves / arity^h) nodes; the list ends at the
+        first level with a single node, the on-chip root.
+        """
+        sizes: List[int] = []
+        count = self.num_leaves
+        while count > 1:
+            count = (count + self.arity - 1) // self.arity
+            sizes.append(count)
+        if not sizes:
+            sizes.append(1)  # degenerate single-leaf tree: root only
+        return tuple(sizes)
+
+    @property
+    def height(self) -> int:
+        """Number of tree levels above the leaves (root included)."""
+        return len(self.level_sizes)
+
+    @property
+    def root_level(self) -> int:
+        """1-based level index of the root."""
+        return self.height
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.level_sizes)
+
+    @property
+    def storage_bytes(self) -> int:
+        """Off-chip storage of the tree (the root is counted too; it is
+        one node and keeping it simplifies the comparison with the
+        paper's storage figures)."""
+        return self.total_nodes * self.node_bytes
+
+    def node_index(self, leaf_index: int, level: int) -> int:
+        """Ancestor node index of *leaf_index* at 1-based *level*."""
+        if not 0 <= leaf_index < self.num_leaves:
+            raise ValueError(f"leaf {leaf_index} out of range")
+        if not 1 <= level <= self.root_level:
+            raise ValueError(f"level {level} out of range")
+        return leaf_index // (self.arity**level)
+
+    def level_base_bytes(self, level: int) -> int:
+        """Byte offset of a level's first node in the flat BMT space."""
+        sizes = self.level_sizes
+        if not 1 <= level <= len(sizes):
+            raise ValueError(f"level {level} out of range")
+        return sum(sizes[: level - 1]) * self.node_bytes
+
+    def node_address(self, leaf_index: int, level: int) -> int:
+        """Byte address of the ancestor node in the flat BMT space."""
+        return (
+            self.level_base_bytes(level)
+            + self.node_index(leaf_index, level) * self.node_bytes
+        )
+
+    def locate(self, byte_offset: int) -> Tuple[int, int]:
+        """Inverse of :meth:`node_address`: (level, node_index)."""
+        bases = [self.level_base_bytes(h) for h in range(1, self.root_level + 1)]
+        level = bisect_right(bases, byte_offset)
+        node = (byte_offset - bases[level - 1]) // self.node_bytes
+        if node >= self.level_sizes[level - 1]:
+            raise ValueError(f"offset {byte_offset:#x} beyond tree storage")
+        return level, node
+
+
+class BmtTraversal:
+    """Cache-filtered verification and (lazy or eager) update walks.
+
+    The traversal owns a sectored cache of tree nodes and a reference to
+    the partition's traffic counter. Because a node is the hashing unit
+    of its parent, a node miss fetches ``node_bytes`` — whole 128 B lines
+    in the classic design, single 32 B sectors in Plutus's fine-grained
+    design. That asymmetry is the entire Fig. 16 experiment.
+    """
+
+    def __init__(
+        self,
+        geometry: BmtGeometry,
+        cache: SectoredCache,
+        traffic: TrafficCounter,
+        read_stream: Stream = Stream.BMT_READ,
+        write_stream: Stream = Stream.BMT_WRITE,
+        lazy_update: bool = True,
+    ) -> None:
+        line = cache.config.line_bytes
+        if geometry.node_bytes % cache.config.sector_bytes and (
+            geometry.node_bytes < cache.config.sector_bytes
+        ):
+            raise ConfigurationError("node size incompatible with cache sectors")
+        if geometry.node_bytes > line:
+            raise ConfigurationError("node larger than a cache line")
+        self.geometry = geometry
+        self.cache = cache
+        self.traffic = traffic
+        self.read_stream = read_stream
+        self.write_stream = write_stream
+        self.lazy_update = lazy_update
+        #: Number of verification walks that reached the root.
+        self.root_verifications = 0
+
+    # -- address helpers -------------------------------------------------
+
+    def _line_and_mask(self, byte_addr: int) -> Tuple[int, int]:
+        """Cache line address and sector mask covering one tree node."""
+        cfg = self.cache.config
+        line_addr = byte_addr - (byte_addr % cfg.line_bytes)
+        first_sector = (byte_addr % cfg.line_bytes) // cfg.sector_bytes
+        sectors = max(1, self.geometry.node_bytes // cfg.sector_bytes)
+        mask = ((1 << sectors) - 1) << first_sector
+        return line_addr, mask
+
+    # -- eviction propagation --------------------------------------------
+
+    def _writeback(self, evictions) -> None:
+        """Lazy update: a dirty node leaving the cache updates its parent."""
+        for ev in evictions:
+            self.traffic.record(
+                self.write_stream,
+                ev.dirty_sector_count * self.cache.config.sector_bytes,
+                transactions=ev.dirty_sector_count,
+            )
+            if not self.lazy_update:
+                continue  # eager mode already updated ancestors on write
+            # Identify which node(s) the dirty sectors belong to and
+            # propagate dirtiness to each parent still below the root.
+            cfg = self.cache.config
+            sectors = max(1, self.geometry.node_bytes // cfg.sector_bytes)
+            seen_offsets = set()
+            for s in range(cfg.sectors_per_line):
+                if not (ev.dirty_mask >> s) & 1:
+                    continue
+                byte_addr = ev.line_addr + s * cfg.sector_bytes
+                node_base = byte_addr - (byte_addr % self.geometry.node_bytes) \
+                    if self.geometry.node_bytes >= cfg.sector_bytes else byte_addr
+                if node_base in seen_offsets:
+                    continue
+                seen_offsets.add(node_base)
+                try:
+                    level, node = self.geometry.locate(node_base)
+                except ValueError:
+                    continue
+                if level + 1 >= self.geometry.root_level:
+                    continue  # parent is the on-chip root: updated in place
+                parent_leaf = node * (self.geometry.arity**level)
+                self._touch_node(parent_leaf, level + 1, dirty=True)
+            del sectors  # geometry bookkeeping only
+
+    def _touch_node(self, leaf_index: int, level: int, dirty: bool) -> None:
+        """Bring one ancestor node into the cache, optionally dirtying it."""
+        addr = self.geometry.node_address(leaf_index, level)
+        line, mask = self._line_and_mask(addr)
+        result = self.cache.access(line, mask, write=dirty)
+        if result.miss_mask:
+            self.traffic.record(
+                self.read_stream,
+                result.miss_sector_count * self.cache.config.sector_bytes,
+                transactions=result.miss_sector_count,
+            )
+        self._writeback(result.evictions)
+
+    # -- public walks ------------------------------------------------------
+
+    def verify_leaf(self, leaf_index: int) -> int:
+        """Verify a freshly fetched leaf (counter block).
+
+        Climbs from the leaf's parent toward the root, stopping at the
+        first cached (already-verified) node. Returns the number of tree
+        levels that had to be fetched from memory.
+        """
+        fetched = 0
+        for level in range(1, self.geometry.root_level + 1):
+            if level == self.geometry.root_level:
+                self.root_verifications += 1
+                break
+            addr = self.geometry.node_address(leaf_index, level)
+            line, mask = self._line_and_mask(addr)
+            result = self.cache.access(line, mask, write=False)
+            if result.miss_mask:
+                fetched += 1
+                self.traffic.record(
+                    self.read_stream,
+                    result.miss_sector_count * self.cache.config.sector_bytes,
+                    transactions=result.miss_sector_count,
+                )
+                self._writeback(result.evictions)
+                continue  # fetched node must itself be verified: go up
+            # Full hit: node already verified earlier; chain is trusted.
+            self._writeback(result.evictions)
+            break
+        return fetched
+
+    def update_leaf(self, leaf_index: int) -> None:
+        """Register a counter-block modification in the tree.
+
+        Lazy mode dirties only the leaf's parent (after verifying the
+        path needed to load it); hashes flow upward at eviction time.
+        Eager mode rewrites the whole path to the root immediately.
+        """
+        if self.geometry.root_level == 1:
+            return  # parent is the root itself; nothing stored off-chip
+        if self.lazy_update:
+            self.verify_leaf(leaf_index)
+            self._touch_node(leaf_index, 1, dirty=True)
+            return
+        for level in range(1, self.geometry.root_level):
+            self._touch_node(leaf_index, level, dirty=True)
+            addr = self.geometry.node_address(leaf_index, level)
+            line, _ = self._line_and_mask(addr)
+            # Eager: the node is written through to memory immediately.
+            sectors = max(1, self.geometry.node_bytes // self.cache.config.sector_bytes)
+            self.traffic.record(
+                self.write_stream,
+                sectors * self.cache.config.sector_bytes,
+                transactions=sectors,
+            )
+            del line
+
+    def flush(self) -> None:
+        """Drain dirty nodes (end of kernel), accounting their writes.
+
+        Lazy propagation re-dirties parents while draining, so iterate
+        until the cache comes back clean; each round moves strictly up
+        the tree, so the loop terminates within ``height`` rounds.
+        """
+        while True:
+            dirty = self.cache.flush()
+            if not dirty:
+                break
+            self._writeback(dirty)

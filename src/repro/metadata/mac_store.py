@@ -1,0 +1,54 @@
+"""Functional MAC storage for protected sectors.
+
+Holds the truncated per-sector tags the functional engines compare
+against, playing the role of the MAC region in DRAM. Like
+:class:`repro.mem.backing.BackingStore` it is untrusted: the attack
+harness can overwrite tags to emulate splicing, and the engine is
+expected to catch the mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.crypto.mac import MacAlgorithm
+
+
+class MacStore:
+    """Sparse map of sector index -> stored truncated tag."""
+
+    def __init__(self, algorithm: MacAlgorithm) -> None:
+        self.algorithm = algorithm
+        self._tags: Dict[int, bytes] = {}
+
+    def update(self, sector_index: int, data: bytes, address: int, counter: int) -> bytes:
+        """Recompute and store the tag for freshly written sector data."""
+        tag = self.algorithm.compute(data, address=address, counter=counter)
+        self._tags[sector_index] = tag
+        return tag
+
+    def stored_tag(self, sector_index: int) -> bytes:
+        """Stored tag (all-zero for never-written sectors)."""
+        return self._tags.get(sector_index, b"\x00" * self.algorithm.tag_bytes)
+
+    def verify(
+        self, sector_index: int, data: bytes, address: int, counter: int
+    ) -> bool:
+        """Check sector data against the stored tag."""
+        return self.algorithm.verify(
+            data, self.stored_tag(sector_index), address=address, counter=counter
+        )
+
+    def corrupt(self, sector_index: int, tag: bytes) -> None:
+        """Attacker primitive: replace a stored tag."""
+        if len(tag) != self.algorithm.tag_bytes:
+            raise ValueError("tag length mismatch")
+        self._tags[sector_index] = tag
+
+    def splice(self, dst_sector: int, src_sector: int) -> None:
+        """Attacker primitive: move a valid tag to a different sector."""
+        self._tags[dst_sector] = self.stored_tag(src_sector)
+
+    @property
+    def stored_count(self) -> int:
+        return len(self._tags)

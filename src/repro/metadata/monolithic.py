@@ -1,0 +1,77 @@
+"""Monolithic encryption counters (SGX-style).
+
+The contrast case to split counters: one wide counter per protected
+block, grouped eight to a cache line (Intel SGX uses 56-bit counters over
+64-byte blocks). Kept in the library for the counter-organization
+comparison tests and the storage-overhead analysis; neither PSSM nor
+Plutus uses it in the headline experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.errors import ConfigurationError, CounterOverflowError
+
+
+@dataclass(frozen=True)
+class MonolithicCounterConfig:
+    """Geometry of the monolithic organization."""
+
+    counter_bits: int = 56
+    counters_per_block: int = 8
+
+    def __post_init__(self) -> None:
+        if self.counter_bits <= 0 or self.counters_per_block <= 0:
+            raise ConfigurationError("counter geometry must be positive")
+
+    @property
+    def block_bytes(self) -> int:
+        """Storage of one counter block (counters padded to bytes)."""
+        bits = self.counter_bits * self.counters_per_block
+        return (bits + 7) // 8
+
+    @property
+    def limit(self) -> int:
+        return 1 << self.counter_bits
+
+
+class MonolithicCounterStore:
+    """Sparse per-sector monolithic counters."""
+
+    def __init__(
+        self, config: MonolithicCounterConfig = MonolithicCounterConfig()
+    ) -> None:
+        self.config = config
+        self._counters: Dict[int, int] = {}
+
+    def value(self, sector_index: int) -> int:
+        if sector_index < 0:
+            raise ValueError("sector index must be non-negative")
+        return self._counters.get(sector_index, 0)
+
+    def combined(self, sector_index: int) -> int:
+        """Tweak value; identical to :meth:`value` for monolithic counters."""
+        return self.value(sector_index)
+
+    def increment(self, sector_index: int) -> int:
+        """Advance a sector's counter, raising when the width is exhausted."""
+        value = self.value(sector_index) + 1
+        if value >= self.config.limit:
+            raise CounterOverflowError(
+                f"monolithic counter exhausted for sector {sector_index}"
+            )
+        self._counters[sector_index] = value
+        return value
+
+    def block_of(self, sector_index: int) -> int:
+        """Counter-block number holding this sector's counter."""
+        return sector_index // self.config.counters_per_block
+
+    def storage_bytes_for(self, num_sectors: int) -> int:
+        """Total counter storage needed to cover *num_sectors*."""
+        blocks = (num_sectors + self.config.counters_per_block - 1) // (
+            self.config.counters_per_block
+        )
+        return blocks * self.config.block_bytes

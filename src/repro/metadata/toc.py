@@ -1,0 +1,116 @@
+"""Tree of Counters (SGX-style parallelizable integrity tree).
+
+The second integrity-tree family of the paper's background (Fig. 3):
+instead of hashes, internal nodes hold *version counters*, and each node
+stores a MAC computed over its child versions keyed by its parent's
+version. Updates increment one version per level — no cumulative hashing
+— so all levels can be updated in parallel; the library implements it
+functionally for the background comparison tests and the tree-family
+ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.errors import ReplayError
+from repro.crypto.mac import HmacSha256Mac
+
+
+class TreeOfCounters:
+    """Functional parallelizable integrity tree over leaf version counters.
+
+    Leaf i's version increments on every write to the protected block i.
+    Node MACs bind the children's versions to the parent's version; the
+    root version is the only trusted state.
+    """
+
+    def __init__(self, num_leaves: int, arity: int = 8, key: bytes = b"toc-key") -> None:
+        if num_leaves <= 0:
+            raise ValueError("tree needs at least one leaf")
+        if arity < 2:
+            raise ValueError("arity must be at least 2")
+        self.arity = arity
+        self._mac = HmacSha256Mac(key, tag_bytes=8)
+        #: versions[0] = leaf versions; versions[-1] = [root version]
+        self.versions: List[List[int]] = [[0] * num_leaves]
+        while len(self.versions[-1]) > 1:
+            below = len(self.versions[-1])
+            self.versions.append([0] * ((below + arity - 1) // arity))
+        #: macs[level][group] authenticates the children of that group.
+        self.macs: List[List[bytes]] = []
+        for level in range(1, len(self.versions)):
+            self.macs.append([b""] * len(self.versions[level]))
+        for level in range(1, len(self.versions)):
+            for group in range(len(self.versions[level])):
+                self.macs[level - 1][group] = self._group_mac(level, group)
+
+    @property
+    def root_version(self) -> int:
+        return self.versions[-1][0]
+
+    @property
+    def height(self) -> int:
+        return len(self.versions)
+
+    def _group_payload(self, level: int, group: int) -> bytes:
+        """Children versions of node (level, group), serialized."""
+        start = group * self.arity
+        children = self.versions[level - 1][start : start + self.arity]
+        return b"".join(v.to_bytes(8, "little") for v in children)
+
+    def _group_mac(self, level: int, group: int) -> bytes:
+        parent_version = self.versions[level][group]
+        return self._mac.compute(
+            self._group_payload(level, group), counter=parent_version
+        )
+
+    def update_leaf(self, index: int) -> None:
+        """Record a write: bump one version per level, refresh the MACs.
+
+        Unlike a Merkle tree there is no bottom-up data dependency — each
+        level's new MAC depends only on its children's versions and its
+        own new version, all known immediately (the parallelizable
+        property the paper's Fig. 3 highlights).
+        """
+        if not 0 <= index < len(self.versions[0]):
+            raise ValueError(f"leaf {index} out of range")
+        child = index
+        self.versions[0][child] += 1
+        for level in range(1, len(self.versions)):
+            parent = child // self.arity
+            self.versions[level][parent] += 1
+            child = parent
+        # Refresh MACs along the path (payload or key version changed).
+        child = index
+        for level in range(1, len(self.versions)):
+            parent = child // self.arity
+            self.macs[level - 1][parent] = self._group_mac(level, parent)
+            child = parent
+
+    def verify_leaf(self, index: int, claimed_version: int) -> None:
+        """Check a leaf version against the chain up to the root.
+
+        Raises :class:`ReplayError` if the claimed version is stale or
+        any stored MAC fails under its parent's version.
+        """
+        if not 0 <= index < len(self.versions[0]):
+            raise ValueError(f"leaf {index} out of range")
+        if claimed_version != self.versions[0][index]:
+            raise ReplayError(
+                f"stale version for leaf {index}: "
+                f"claimed {claimed_version}, current {self.versions[0][index]}"
+            )
+        child = index
+        for level in range(1, len(self.versions)):
+            parent = child // self.arity
+            expected = self._group_mac(level, parent)
+            if self.macs[level - 1][parent] != expected:
+                raise ReplayError(
+                    f"ToC MAC mismatch at level {level}, group {parent}"
+                )
+            child = parent
+
+    def corrupt_version(self, level: int, index: int, version: int) -> None:
+        """Attacker primitive: overwrite a stored version counter."""
+        self.versions[level][index] = version

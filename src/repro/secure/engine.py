@@ -1,0 +1,292 @@
+"""Secure-memory engine interface and shared metadata machinery.
+
+A *partition engine* sits where the paper's per-partition security
+engines sit: between the L2 bank and the DRAM channel. The GPU simulator
+feeds it two event kinds —
+
+* ``on_fill(sector, values)``: a data sector is being fetched from DRAM
+  (L2 read miss) and must be verified/decrypted;
+* ``on_writeback(sector, values)``: a dirty data sector is leaving the
+  chip and must be encrypted/authenticated;
+
+— and the engine responds by generating security-metadata traffic into
+the partition's :class:`~repro.mem.traffic.TrafficCounter`. Data traffic
+itself is accounted by the caller; engines add only the security cost,
+which keeps "no security" vs "PSSM" vs "Plutus" trivially comparable.
+
+:class:`MetadataEngine` implements the machinery every design shares:
+sectored counter/MAC/BMT caches (2 kB each per partition, Table II),
+split counters, lazy BMT maintenance, and the eviction plumbing between
+them. Concrete designs (:mod:`repro.secure.pssm`,
+:mod:`repro.secure.plutus`, :mod:`repro.secure.common_counters`)
+specialize the read/write flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mem.cache import CacheConfig, SectoredCache
+from repro.mem.traffic import Stream, TrafficCounter
+from repro.metadata.bmt import BmtTraversal
+from repro.metadata.layout import GranularityDesign, MetadataLayout
+from repro.metadata.split_counter import SplitCounterConfig, SplitCounterStore
+
+
+@dataclass
+class EngineStats:
+    """Event counts shared across engine designs."""
+
+    fills: int = 0
+    writebacks: int = 0
+    counter_fetches: int = 0
+    counter_onchip_hits: int = 0
+    mac_fetches: int = 0
+    mac_fetches_avoided: int = 0
+    mac_writes_avoided: int = 0
+    value_verified_fills: int = 0
+    value_check_failures: int = 0
+    compact_only_accesses: int = 0
+    compact_double_accesses: int = 0
+    original_only_accesses: int = 0
+    compact_disable_events: int = 0
+    minor_overflows: int = 0
+    reencrypted_sectors: int = 0
+
+
+@dataclass(frozen=True)
+class MetadataCacheConfig:
+    """Per-partition metadata cache sizing (Table II defaults)."""
+
+    size_bytes: int = 2048
+    line_bytes: int = 128
+    ways: int = 4
+    sector_bytes: int = 32
+    sectored: bool = True
+
+    def build(self, name: str) -> SectoredCache:
+        return SectoredCache(
+            CacheConfig(
+                name=name,
+                size_bytes=self.size_bytes,
+                line_bytes=self.line_bytes,
+                ways=self.ways,
+                sector_bytes=self.sector_bytes,
+                sectored=self.sectored,
+            )
+        )
+
+
+class PartitionEngine:
+    """Interface of one partition's security engine."""
+
+    #: Human-readable design name, overridden by subclasses.
+    name = "abstract"
+
+    def __init__(self, partition_id: int, data_sectors: int,
+                 traffic: TrafficCounter) -> None:
+        self.partition_id = partition_id
+        self.data_sectors = data_sectors
+        self.traffic = traffic
+        self.stats = EngineStats()
+
+    def on_fill(self, sector_index: int, values: Optional[bytes]) -> None:
+        """Handle a data-sector fetch from DRAM (L2 read miss)."""
+        raise NotImplementedError
+
+    def on_writeback(self, sector_index: int, values: Optional[bytes]) -> None:
+        """Handle a dirty data-sector eviction to DRAM."""
+        raise NotImplementedError
+
+    def warm_counters(self, sector_index: int) -> None:
+        """Advance counter state for one pre-window write (no traffic).
+
+        Simulated windows are slices of much longer executions; the
+        writes that happened before the window have already advanced the
+        encryption counters (and saturated compact counters, demoted
+        common-counter regions, ...). Warmup replays the window's
+        writeback sectors through this hook so counter *state* matches a
+        long-running execution while measured traffic stays clean.
+        """
+
+    def finalize(self) -> None:
+        """Drain dirty metadata at end of simulation (kernel boundary)."""
+
+
+class NoSecurityEngine(PartitionEngine):
+    """The insecure baseline: data moves, no metadata exists."""
+
+    name = "no-security"
+
+    def on_fill(self, sector_index: int, values: Optional[bytes]) -> None:
+        self.stats.fills += 1
+
+    def on_writeback(self, sector_index: int, values: Optional[bytes]) -> None:
+        self.stats.writebacks += 1
+
+
+class MetadataEngine(PartitionEngine):
+    """Shared counter/MAC/BMT machinery for the secured designs."""
+
+    def __init__(
+        self,
+        partition_id: int,
+        data_sectors: int,
+        traffic: TrafficCounter,
+        design: GranularityDesign = GranularityDesign.BLOCK_128,
+        mac_tag_bytes: int = 8,
+        cache_config: MetadataCacheConfig = MetadataCacheConfig(),
+        counter_config: SplitCounterConfig = SplitCounterConfig(),
+        lazy_update: bool = True,
+    ) -> None:
+        super().__init__(partition_id, data_sectors, traffic)
+        self.layout = MetadataLayout(
+            data_sectors=data_sectors,
+            design=design,
+            mac_tag_bytes=mac_tag_bytes,
+            sectors_per_counter_sector=counter_config.sectors_per_group,
+        )
+        self.counters = SplitCounterStore(counter_config)
+        self.counter_cache = cache_config.build(f"ctr[{partition_id}]")
+        self.mac_cache = cache_config.build(f"mac[{partition_id}]")
+        self.bmt_cache = cache_config.build(f"bmt[{partition_id}]")
+        self.bmt = BmtTraversal(
+            self.layout.bmt_geometry(),
+            self.bmt_cache,
+            traffic,
+            read_stream=Stream.BMT_READ,
+            write_stream=Stream.BMT_WRITE,
+            lazy_update=lazy_update,
+        )
+
+    # -- eviction plumbing ---------------------------------------------------
+
+    def _drain_counter_evictions(self, evictions) -> None:
+        """Write back dirty counter sectors; lazily update their tree leaves.
+
+        A dirty counter block leaving the chip is the moment the lazy
+        scheme recomputes its parent hash, so each distinct evicted leaf
+        triggers a tree update.
+        """
+        sector_bytes = self.counter_cache.config.sector_bytes
+        for ev in evictions:
+            self.traffic.record(
+                Stream.COUNTER_WRITE,
+                ev.dirty_sector_count * sector_bytes,
+                transactions=ev.dirty_sector_count,
+            )
+            leaves = set()
+            for s in range(self.counter_cache.config.sectors_per_line):
+                if not (ev.dirty_mask >> s) & 1:
+                    continue
+                counter_sector = ev.line_addr // sector_bytes + s
+                leaves.add(self._leaf_of_counter_sector(counter_sector))
+            for leaf in leaves:
+                self.bmt.update_leaf(leaf)
+
+    def _leaf_of_counter_sector(self, counter_sector: int) -> int:
+        if self.layout.design is GranularityDesign.BLOCK_128:
+            per_line = self.layout.line_bytes // self.layout.sector_bytes
+            return counter_sector // per_line
+        return counter_sector
+
+    def _drain_mac_evictions(self, evictions) -> None:
+        sector_bytes = self.mac_cache.config.sector_bytes
+        for ev in evictions:
+            self.traffic.record(
+                Stream.MAC_WRITE,
+                ev.dirty_sector_count * sector_bytes,
+                transactions=ev.dirty_sector_count,
+            )
+
+    # -- counter path ----------------------------------------------------------
+
+    def counter_read(self, sector_index: int) -> None:
+        """Bring the sector's encryption counter on-chip, verified."""
+        line, mask = self.layout.counter_location(sector_index)
+        result = self.counter_cache.access(line, mask, write=False)
+        if result.miss_mask:
+            self.stats.counter_fetches += 1
+            self.traffic.record(
+                Stream.COUNTER_READ,
+                result.miss_sector_count * self.layout.sector_bytes,
+                transactions=result.miss_sector_count,
+            )
+            self.bmt.verify_leaf(self.layout.bmt_leaf_index(sector_index))
+        self._drain_counter_evictions(result.evictions)
+
+    def counter_write(self, sector_index: int) -> None:
+        """Advance the sector's counter for a writeback (dirty in cache)."""
+        outcome = self.counters.increment(sector_index)
+        if outcome.minor_overflowed:
+            self._on_minor_overflow(outcome)
+        line, mask = self.layout.counter_location(sector_index)
+        result = self.counter_cache.access(line, mask, write=True)
+        if result.miss_mask:
+            # Updating a counter needs its block resident and verified.
+            self.stats.counter_fetches += 1
+            self.traffic.record(
+                Stream.COUNTER_READ,
+                result.miss_sector_count * self.layout.sector_bytes,
+                transactions=result.miss_sector_count,
+            )
+            self.bmt.verify_leaf(self.layout.bmt_leaf_index(sector_index))
+        self._drain_counter_evictions(result.evictions)
+
+    def _on_minor_overflow(self, outcome) -> None:
+        """A minor overflow re-encrypts the whole major-counter group.
+
+        Every sector in the group must be read, re-encrypted under the
+        new major, and written back — real data traffic the model
+        charges to the data streams.
+        """
+        self.stats.minor_overflows += 1
+        group = [
+            s for s in outcome.reencrypted_sectors if s < self.data_sectors
+        ]
+        self.stats.reencrypted_sectors += len(group)
+        nbytes = len(group) * self.layout.sector_bytes
+        self.traffic.record(Stream.DATA_READ, nbytes, transactions=len(group))
+        self.traffic.record(Stream.DATA_WRITE, nbytes, transactions=len(group))
+
+    # -- MAC path ------------------------------------------------------------------
+
+    def mac_read(self, sector_index: int) -> None:
+        """Fetch the sector's MAC for conventional verification."""
+        line, mask = self.layout.mac_location(sector_index)
+        result = self.mac_cache.access(line, mask, write=False)
+        if result.miss_mask:
+            self.stats.mac_fetches += 1
+            self.traffic.record(
+                Stream.MAC_READ,
+                result.miss_sector_count * self.layout.sector_bytes,
+                transactions=result.miss_sector_count,
+            )
+        self._drain_mac_evictions(result.evictions)
+
+    def mac_write(self, sector_index: int) -> None:
+        """Install a freshly computed MAC (read-modify-write on miss)."""
+        line, mask = self.layout.mac_location(sector_index)
+        result = self.mac_cache.access(line, mask, write=True)
+        if result.miss_mask:
+            # The 32 B MAC sector holds several tags; merging one tag
+            # into a non-resident sector fetches it first.
+            self.traffic.record(
+                Stream.MAC_READ,
+                result.miss_sector_count * self.layout.sector_bytes,
+                transactions=result.miss_sector_count,
+            )
+        self._drain_mac_evictions(result.evictions)
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def warm_counters(self, sector_index: int) -> None:
+        """Pre-window write: advance the split counter silently."""
+        self.counters.increment(sector_index)
+
+    def finalize(self) -> None:
+        """Flush all dirty metadata (counters, MACs, tree nodes)."""
+        self._drain_counter_evictions(self.counter_cache.flush())
+        self._drain_mac_evictions(self.mac_cache.flush())
+        self.bmt.flush()

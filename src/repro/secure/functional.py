@@ -1,0 +1,291 @@
+"""Functional secure GPU memory: real crypto, end to end.
+
+Where the performance engines account *traffic*, this module implements
+the actual security object: a sector-granular protected memory backed by
+an untrusted :class:`~repro.mem.backing.BackingStore`, with
+
+* AES-XTS (Plutus mode) or counter-mode (PSSM mode) encryption, tweaked
+  by address and split counter;
+* a truncated stateful MAC per 32-byte sector;
+* a Merkle tree over the counter groups (replay protection) whose root
+  is the only trusted state;
+* in Plutus mode, a value cache that verifies reads without the MAC
+  whenever enough decrypted values hit.
+
+Every attack class from the threat model is expressible against the
+exposed untrusted surfaces (``dram``, ``mac_store``, ``counter_blob``
+storage, tree nodes), and the read path raises
+:class:`~repro.common.errors.IntegrityError` or
+:class:`~repro.common.errors.ReplayError` exactly as the hardware would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.common.bitops import split_values
+from repro.common.errors import ConfigurationError, IntegrityError
+from repro.crypto.cme import CounterModeCipher
+from repro.crypto.mac import HmacSha256Mac, MacAlgorithm
+from repro.crypto.tweak import make_tweak
+from repro.crypto.xts import AesXts
+from repro.mem.backing import BackingStore
+from repro.metadata.mac_store import MacStore
+from repro.metadata.merkle import MerkleTree
+from repro.metadata.split_counter import SplitCounterConfig, SplitCounterStore
+from repro.secure.value_cache import ValueCache, ValueCacheConfig
+
+SECTOR_BYTES = 32
+
+
+@dataclass
+class ReadFlow:
+    """Trace of the verification steps one read took (for inspection)."""
+
+    address: int = 0
+    counter_verified: bool = False
+    value_verified: bool = False
+    mac_verified: bool = False
+    value_hits: List[int] = field(default_factory=list)
+
+    @property
+    def mac_avoided(self) -> bool:
+        return self.value_verified and not self.mac_verified
+
+
+class SecureMemory:
+    """A functional, attackable secure memory for one protection domain.
+
+    ``mode`` selects the design: ``"plutus"`` (AES-XTS + value cache,
+    MAC on value miss) or ``"pssm"`` (counter mode + unconditional MAC).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        mode: str = "plutus",
+        key: bytes = b"\x11" * 64,
+        mac_key: bytes = b"\x22" * 32,
+        mac_tag_bytes: int = 8,
+        counter_config: SplitCounterConfig = SplitCounterConfig(),
+        value_cache_config: Optional[ValueCacheConfig] = None,
+        tree_arity: int = 16,
+    ) -> None:
+        if size_bytes % SECTOR_BYTES != 0:
+            raise ConfigurationError("memory size must be sector aligned")
+        if mode not in ("plutus", "pssm"):
+            raise ConfigurationError(f"unknown mode {mode!r}")
+        self.mode = mode
+        self.size_bytes = size_bytes
+
+        #: Untrusted ciphertext storage (attacker-writable).
+        self.dram = BackingStore(size_bytes)
+        #: Untrusted MAC storage (attacker-writable).
+        mac_algorithm: MacAlgorithm = HmacSha256Mac(mac_key, mac_tag_bytes)
+        self.mac_store = MacStore(mac_algorithm)
+        #: Untrusted serialized counter groups (attacker-writable).
+        self.counter_blobs: Dict[int, bytes] = {}
+
+        self.counters = SplitCounterStore(counter_config)
+        self._written: Set[int] = set()
+
+        if mode == "plutus":
+            self._xts = AesXts(key)
+            self._cme = None
+            self.value_cache = ValueCache(
+                value_cache_config or ValueCacheConfig()
+            )
+        else:
+            self._xts = None
+            self._cme = CounterModeCipher(key[:16])
+            self.value_cache = None
+
+        num_groups = -(
+            -(size_bytes // SECTOR_BYTES) // counter_config.sectors_per_group
+        )
+        #: Merkle tree over counter groups; only ``tree.root`` is trusted.
+        self.tree = MerkleTree(num_groups, arity=tree_arity)
+        self._trusted_root = self.tree.root
+        #: Verification trace of the most recent read.
+        self.last_flow = ReadFlow()
+        #: Lifetime statistics.
+        self.reads = 0
+        self.writes = 0
+        self.mac_checks = 0
+        self.mac_checks_avoided = 0
+
+    # -- counter <-> untrusted storage ------------------------------------------
+
+    def _serialize_group(self, group: int) -> bytes:
+        """Pack a counter group (major + minors) for untrusted storage."""
+        cfg = self.counters.config
+        base = group * cfg.sectors_per_group
+        major = self.counters.value(base)[0]
+        blob = major.to_bytes(8, "little")
+        for s in range(base, base + cfg.sectors_per_group):
+            blob += self.counters.value(s)[1].to_bytes(2, "little")
+        return blob
+
+    def _publish_group(self, group: int) -> None:
+        blob = self._serialize_group(group)
+        self.counter_blobs[group] = blob
+        self.tree.update_leaf(group, blob)
+        self._trusted_root = self.tree.root
+
+    def _verify_group(self, group: int) -> None:
+        """Check the stored counter blob against the trusted root."""
+        blob = self.counter_blobs.get(group, b"")
+        self.tree.verify_leaf(group, blob, trusted_root=self._trusted_root)
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _sector_index(self, address: int) -> int:
+        if address % SECTOR_BYTES != 0:
+            raise ValueError(f"address {address:#x} not sector aligned")
+        if not 0 <= address < self.size_bytes:
+            raise ValueError(f"address {address:#x} out of range")
+        return address // SECTOR_BYTES
+
+    def _encrypt(self, plaintext: bytes, address: int, counter: int) -> bytes:
+        tweak = make_tweak(address, counter)
+        if self._xts is not None:
+            return self._xts.encrypt(plaintext, tweak)
+        return self._cme.encrypt(plaintext, tweak)
+
+    def _decrypt(self, ciphertext: bytes, address: int, counter: int) -> bytes:
+        tweak = make_tweak(address, counter)
+        if self._xts is not None:
+            return self._xts.decrypt(ciphertext, tweak)
+        return self._cme.decrypt(ciphertext, tweak)
+
+    # -- public API ----------------------------------------------------------------------
+
+    def write(self, address: int, data: bytes) -> None:
+        """Encrypt and store *data* (one or more whole sectors)."""
+        if len(data) % SECTOR_BYTES != 0:
+            raise ValueError("data must be whole sectors")
+        for offset in range(0, len(data), SECTOR_BYTES):
+            self._write_sector(address + offset, data[offset : offset + SECTOR_BYTES])
+
+    def _write_sector(self, address: int, plaintext: bytes) -> None:
+        self.writes += 1
+        idx = self._sector_index(address)
+        cfg = self.counters.config
+
+        # Snapshot group counters in case the increment overflows the
+        # minor: the old values are needed to re-encrypt the group.
+        group = self.counters.group_of(idx)
+        base = group * cfg.sectors_per_group
+        old_counters = {
+            s: self.counters.combined(s)
+            for s in range(base, base + cfg.sectors_per_group)
+        }
+
+        outcome = self.counters.increment(idx)
+        if outcome.minor_overflowed:
+            self._reencrypt_group(outcome.reencrypted_sectors, old_counters,
+                                  skip=idx)
+
+        counter = self.counters.combined(idx)
+        self.dram.write(address, self._encrypt(plaintext, address, counter))
+        self.mac_store.update(idx, plaintext, address=address, counter=counter)
+        self._written.add(idx)
+        if self.value_cache is not None:
+            self.value_cache.observe_many(split_values(plaintext, 4))
+        self._publish_group(group)
+
+    def _reencrypt_group(self, sectors, old_counters, skip: int) -> None:
+        """Major bump: re-encrypt every written sector under new counters."""
+        for s in sectors:
+            if s == skip or s not in self._written:
+                continue
+            address = s * SECTOR_BYTES
+            if address >= self.size_bytes:
+                continue
+            ciphertext = self.dram.read(address, SECTOR_BYTES)
+            plaintext = self._decrypt(ciphertext, address, old_counters[s])
+            new_counter = self.counters.combined(s)
+            self.dram.write(address, self._encrypt(plaintext, address, new_counter))
+            self.mac_store.update(s, plaintext, address=address, counter=new_counter)
+
+    def read(self, address: int, length: int) -> bytes:
+        """Fetch, verify, and decrypt *length* bytes (whole sectors).
+
+        Raises :class:`ReplayError` when counter metadata fails the tree
+        check and :class:`IntegrityError` when neither the value check
+        (Plutus) nor the MAC accepts the decrypted data.
+        """
+        if length % SECTOR_BYTES != 0:
+            raise ValueError("length must be whole sectors")
+        out = bytearray()
+        for offset in range(0, length, SECTOR_BYTES):
+            out += self._read_sector(address + offset)
+        return bytes(out)
+
+    def _read_sector(self, address: int) -> bytes:
+        self.reads += 1
+        idx = self._sector_index(address)
+        flow = ReadFlow(address=address)
+        self.last_flow = flow
+
+        if idx not in self._written:
+            # Never-written memory: defined to read as zeros, with no
+            # ciphertext to verify (matches zero-initialized device
+            # memory semantics).
+            return b"\x00" * SECTOR_BYTES
+
+        group = self.counters.group_of(idx)
+        self._verify_group(group)
+        flow.counter_verified = True
+
+        counter = self.counters.combined(idx)
+        ciphertext = self.dram.read(address, SECTOR_BYTES)
+        plaintext = self._decrypt(ciphertext, address, counter)
+
+        if self.value_cache is not None:
+            values = split_values(plaintext, 4)
+            if self.value_cache.verify_sector(values):
+                flow.value_verified = True
+                flow.value_hits = values
+                self.mac_checks_avoided += 1
+                self.value_cache.observe_many(values)
+                return plaintext
+
+        self.mac_checks += 1
+        if not self.mac_store.verify(idx, plaintext, address=address,
+                                     counter=counter):
+            raise IntegrityError(
+                f"MAC verification failed at {address:#x}", address=address
+            )
+        flow.mac_verified = True
+        if self.value_cache is not None:
+            self.value_cache.observe_many(split_values(plaintext, 4))
+        return plaintext
+
+    # -- attacker surface -------------------------------------------------------------
+
+    def tamper_data(self, address: int, xor_mask: bytes) -> None:
+        """Flip ciphertext bits in untrusted DRAM."""
+        self.dram.corrupt(address, xor_mask)
+
+    def replay_sector(self, address: int, old_ciphertext: bytes,
+                      old_tag: bytes, old_blob: bytes) -> None:
+        """Restore a previously captured (ciphertext, MAC, counter) state.
+
+        The counter blob rollback is what the Merkle tree catches: the
+        stored leaf no longer matches the trusted root.
+        """
+        idx = self._sector_index(address)
+        self.dram.write(address, old_ciphertext)
+        self.mac_store.corrupt(idx, old_tag)
+        self.counter_blobs[self.counters.group_of(idx)] = old_blob
+
+    def snapshot_sector(self, address: int):
+        """Capture the untrusted state an attacker would record."""
+        idx = self._sector_index(address)
+        return (
+            self.dram.read(address, SECTOR_BYTES),
+            self.mac_store.stored_tag(idx),
+            self.counter_blobs.get(self.counters.group_of(idx), b""),
+        )

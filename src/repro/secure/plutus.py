@@ -1,0 +1,323 @@
+"""The Plutus engine: all three bandwidth-saving ideas, independently
+toggleable (paper Section IV).
+
+1. *Value-based integrity verification* — a per-partition value cache
+   verifies most read fills without touching MAC storage, and proves
+   some writebacks verifiable-in-advance so their MAC write is skipped.
+2. *Compact mirrored counters* — a miniature counter layer (with its own
+   mini-BMT) in front of the split counters; only saturated/disabled
+   regions fall back to the original layer.
+3. *Fine-grained metadata* — counters and tree nodes are hashed and
+   fetched at 32-byte granularity (``GranularityDesign.ALL_32``),
+   eliminating PSSM's over-fetch at the cost of a taller tree.
+
+Each toggle isolates one of the paper's ablation figures (15/16/17);
+the default configuration is the full Plutus of Fig. 18. The
+``eliminate_tree`` flag reproduces Fig. 20's MGX/TNPU-style comparison
+where integrity-tree traffic is assumed away entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.bitops import split_values
+from repro.mem.traffic import Stream, TrafficCounter
+from repro.metadata.compact import (
+    DESIGN_3BIT_ADAPTIVE,
+    CompactCounterConfig,
+    CompactCounterState,
+    CounterRoute,
+)
+from repro.metadata.layout import GranularityDesign, MetadataLayout
+from repro.metadata.bmt import BmtTraversal
+from repro.secure.engine import MetadataCacheConfig, MetadataEngine
+from repro.secure.value_cache import ValueCache, ValueCacheConfig
+
+
+class PlutusEngine(MetadataEngine):
+    """Plutus secure-memory engine for one partition."""
+
+    name = "plutus"
+
+    def __init__(
+        self,
+        partition_id: int,
+        data_sectors: int,
+        traffic: TrafficCounter,
+        mac_tag_bytes: int = 8,
+        design: GranularityDesign = GranularityDesign.ALL_32,
+        cache_config: MetadataCacheConfig = MetadataCacheConfig(),
+        value_cache_config: Optional[ValueCacheConfig] = ValueCacheConfig(),
+        compact_config: Optional[CompactCounterConfig] = DESIGN_3BIT_ADAPTIVE,
+        lazy_update: bool = True,
+        eliminate_tree: bool = False,
+        counter_config=None,
+    ) -> None:
+        from repro.metadata.split_counter import SplitCounterConfig
+
+        super().__init__(
+            partition_id,
+            data_sectors,
+            traffic,
+            design=design,
+            mac_tag_bytes=mac_tag_bytes,
+            cache_config=cache_config,
+            lazy_update=lazy_update,
+            counter_config=counter_config or SplitCounterConfig(),
+        )
+        self.tree_enabled = not eliminate_tree
+
+        self.value_cache = (
+            ValueCache(value_cache_config) if value_cache_config else None
+        )
+
+        self.compact: Optional[CompactCounterState] = None
+        if compact_config is not None:
+            self.compact = CompactCounterState(compact_config)
+            # The mirror layer inherits the engine's fetch-granularity
+            # design: in the paper's compact-only ablation (Fig. 17) the
+            # baseline's 128 B blocks apply to the compact metadata too;
+            # only idea #3 shrinks them to 32 B.
+            self.compact_layout = MetadataLayout(
+                data_sectors=data_sectors,
+                design=design,
+                sectors_per_counter_sector=compact_config.counters_per_block,
+            )
+            self.compact_cache = cache_config.build(f"cctr[{partition_id}]")
+            self.compact_bmt_cache = cache_config.build(f"cbmt[{partition_id}]")
+            self.compact_bmt = BmtTraversal(
+                self.compact_layout.bmt_geometry(),
+                self.compact_bmt_cache,
+                traffic,
+                read_stream=Stream.COMPACT_BMT_READ,
+                write_stream=Stream.COMPACT_BMT_WRITE,
+                lazy_update=lazy_update,
+            )
+
+    # -- tree gating (Fig. 20) -------------------------------------------------
+
+    def _verify_tree(self, traversal: BmtTraversal, leaf: int) -> None:
+        if self.tree_enabled:
+            traversal.verify_leaf(leaf)
+
+    def _update_tree(self, traversal: BmtTraversal, leaf: int) -> None:
+        if self.tree_enabled:
+            traversal.update_leaf(leaf)
+
+    # MetadataEngine's counter paths call self.bmt directly; override the
+    # drain hook and read path to honor the gate.
+    def counter_read(self, sector_index: int) -> None:
+        """Original-layer counter fetch, honoring the tree gate."""
+        line, mask = self.layout.counter_location(sector_index)
+        result = self.counter_cache.access(line, mask, write=False)
+        if result.miss_mask:
+            self.stats.counter_fetches += 1
+            self.traffic.record(
+                Stream.COUNTER_READ,
+                result.miss_sector_count * self.layout.sector_bytes,
+                transactions=result.miss_sector_count,
+            )
+            self._verify_tree(self.bmt, self.layout.bmt_leaf_index(sector_index))
+        self._drain_counter_evictions(result.evictions)
+
+    def counter_write(self, sector_index: int) -> None:
+        """Original-layer counter bump, honoring the tree gate."""
+        outcome = self.counters.increment(sector_index)
+        if outcome.minor_overflowed:
+            self._on_minor_overflow(outcome)
+            if self.compact is not None:
+                # All sectors sharing the bumped major must use the
+                # original layer from now on (paper Section IV-D).
+                self.compact.force_original(outcome.reencrypted_sectors)
+        line, mask = self.layout.counter_location(sector_index)
+        result = self.counter_cache.access(line, mask, write=True)
+        if result.miss_mask:
+            self.stats.counter_fetches += 1
+            self.traffic.record(
+                Stream.COUNTER_READ,
+                result.miss_sector_count * self.layout.sector_bytes,
+                transactions=result.miss_sector_count,
+            )
+            self._verify_tree(self.bmt, self.layout.bmt_leaf_index(sector_index))
+        self._drain_counter_evictions(result.evictions)
+
+    def _drain_counter_evictions(self, evictions) -> None:
+        sector_bytes = self.counter_cache.config.sector_bytes
+        for ev in evictions:
+            self.traffic.record(
+                Stream.COUNTER_WRITE,
+                ev.dirty_sector_count * sector_bytes,
+                transactions=ev.dirty_sector_count,
+            )
+            leaves = set()
+            for s in range(self.counter_cache.config.sectors_per_line):
+                if (ev.dirty_mask >> s) & 1:
+                    counter_sector = ev.line_addr // sector_bytes + s
+                    leaves.add(self._leaf_of_counter_sector(counter_sector))
+            for leaf in leaves:
+                self._update_tree(self.bmt, leaf)
+
+    # -- compact-counter layer ---------------------------------------------------
+
+    def _compact_access(self, sector_index: int, write: bool) -> None:
+        """Touch the sector's compact counter (fetch + verify on miss)."""
+        line, mask = self.compact_layout.counter_location(sector_index)
+        result = self.compact_cache.access(line, mask, write=write)
+        if result.miss_mask:
+            self.traffic.record(
+                Stream.COMPACT_COUNTER_READ,
+                result.miss_sector_count * self.compact_layout.sector_bytes,
+                transactions=result.miss_sector_count,
+            )
+            self._verify_tree(
+                self.compact_bmt,
+                self.compact_layout.bmt_leaf_index(sector_index),
+            )
+        self._drain_compact_evictions(result.evictions)
+
+    def _compact_leaf_of_sector(self, counter_sector: int) -> int:
+        if self.compact_layout.design is GranularityDesign.BLOCK_128:
+            per_line = self.compact_layout.line_bytes // self.compact_layout.sector_bytes
+            return counter_sector // per_line
+        return counter_sector
+
+    def _drain_compact_evictions(self, evictions) -> None:
+        sector_bytes = self.compact_cache.config.sector_bytes
+        for ev in evictions:
+            self.traffic.record(
+                Stream.COMPACT_COUNTER_WRITE,
+                ev.dirty_sector_count * sector_bytes,
+                transactions=ev.dirty_sector_count,
+            )
+            leaves = set()
+            for s in range(self.compact_cache.config.sectors_per_line):
+                if (ev.dirty_mask >> s) & 1:
+                    counter_sector = ev.line_addr // sector_bytes + s
+                    leaves.add(self._compact_leaf_of_sector(counter_sector))
+            for leaf in leaves:
+                self._update_tree(self.compact_bmt, leaf)
+
+    def _counter_read_flow(self, sector_index: int) -> None:
+        """Route a read's counter access through the mirror hierarchy."""
+        if self.compact is None:
+            self.counter_read(sector_index)
+            return
+        plan = self.compact.plan_read(sector_index)
+        if plan.route is CounterRoute.COMPACT_ONLY:
+            self.stats.compact_only_accesses += 1
+            self._compact_access(sector_index, write=False)
+        elif plan.route is CounterRoute.COMPACT_THEN_ORIGINAL:
+            self.stats.compact_double_accesses += 1
+            self._compact_access(sector_index, write=False)
+            self.counter_read(sector_index)
+        else:
+            self.stats.original_only_accesses += 1
+            self.counter_read(sector_index)
+
+    def _counter_write_flow(self, sector_index: int) -> None:
+        """Route a writeback's counter increment through the hierarchy."""
+        if self.compact is None:
+            self.counter_write(sector_index)
+            return
+        plan = self.compact.plan_write(sector_index)
+        if plan.route is CounterRoute.COMPACT_ONLY:
+            self.stats.compact_only_accesses += 1
+            self._compact_access(sector_index, write=True)
+        elif plan.route is CounterRoute.COMPACT_THEN_ORIGINAL:
+            self.stats.compact_double_accesses += 1
+            self._compact_access(sector_index, write=True)
+            self.counter_write(sector_index)
+        else:
+            self.stats.original_only_accesses += 1
+            self.counter_write(sector_index)
+        if plan.disables_block:
+            self.stats.compact_disable_events += 1
+            self._sync_block_to_original(sector_index)
+
+    def _sync_block_to_original(self, sector_index: int) -> None:
+        """One-time copy of a disabled block's live counters to originals.
+
+        With 2x compaction one compact block spans two original counter
+        sectors; both are write-touched (fetch + verify on miss).
+        """
+        cpb = self.compact.config.counters_per_block
+        block = self.compact.block_of(sector_index)
+        first_data_sector = block * cpb
+        step = self.layout.sectors_per_counter_sector
+        for data_sector in range(first_data_sector, first_data_sector + cpb, step):
+            if data_sector >= self.data_sectors:
+                break
+            line, mask = self.layout.counter_location(data_sector)
+            result = self.counter_cache.access(line, mask, write=True)
+            if result.miss_mask:
+                self.traffic.record(
+                    Stream.COUNTER_READ,
+                    result.miss_sector_count * self.layout.sector_bytes,
+                    transactions=result.miss_sector_count,
+                )
+                self._verify_tree(self.bmt, self.layout.bmt_leaf_index(data_sector))
+            self._drain_counter_evictions(result.evictions)
+
+    # -- request flows (paper Fig. 11) --------------------------------------------
+
+    @staticmethod
+    def _check_image(values: Optional[bytes]) -> None:
+        if values is not None and len(values) != 32:
+            raise ValueError(
+                f"sector image must be 32 bytes, got {len(values)}"
+            )
+
+    def on_fill(self, sector_index: int, values: Optional[bytes]) -> None:
+        """Read miss: counter via mirror layer, then value-check or MAC."""
+        self._check_image(values)
+        self.stats.fills += 1
+        self._counter_read_flow(sector_index)
+
+        if self.value_cache is None or values is None:
+            self.mac_read(sector_index)
+            return
+
+        sector_values = split_values(values, 4)
+        if self.value_cache.verify_sector(sector_values):
+            self.stats.value_verified_fills += 1
+            self.stats.mac_fetches_avoided += 1
+        else:
+            self.stats.value_check_failures += 1
+            self.mac_read(sector_index)
+        self.value_cache.observe_many(sector_values)
+
+    def on_writeback(self, sector_index: int, values: Optional[bytes]) -> None:
+        """Dirty eviction: counter bump via mirror layer; MAC if needed."""
+        self._check_image(values)
+        self.stats.writebacks += 1
+        self._counter_write_flow(sector_index)
+
+        if self.value_cache is None or values is None:
+            self.mac_write(sector_index)
+            return
+
+        sector_values = split_values(values, 4)
+        self.value_cache.observe_many(sector_values)
+        if self.value_cache.write_verifiable(sector_values):
+            # Guaranteed to value-verify at next read: the MAC update is
+            # skipped entirely (paper Fig. 11, write path).
+            self.stats.mac_writes_avoided += 1
+        else:
+            self.mac_write(sector_index)
+
+    def warm_counters(self, sector_index: int) -> None:
+        """Pre-window write: advance both counter layers silently."""
+        outcome = self.counters.increment(sector_index)
+        if self.compact is not None:
+            self.compact.plan_write(sector_index)
+            if outcome.minor_overflowed:
+                self.compact.force_original(outcome.reencrypted_sectors)
+
+    def finalize(self) -> None:
+        """Drain dirty metadata in both layers at kernel end."""
+        super().finalize()
+        if self.compact is not None:
+            self._drain_compact_evictions(self.compact_cache.flush())
+            if self.tree_enabled:
+                self.compact_bmt.flush()

@@ -1,0 +1,154 @@
+"""Address-pattern generators for synthetic GPU workloads.
+
+Each generator produces ``n`` coalesced accesses over a region of
+128-byte lines, returned as parallel numpy arrays ``(line_index,
+sector_mask)``. The patterns cover the access behaviours of the paper's
+benchmark suites: bulk streaming (dense linear algebra, LBM), strided
+sweeps (Gaussian elimination), stencils (hotspot, SRAD), and the
+power-law irregular accesses of the graph workloads (BFS, SSSP,
+PageRank, coloring) whose poor metadata locality motivates Plutus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngStream
+
+FULL_MASK = 0b1111
+
+
+@dataclass(frozen=True)
+class PatternResult:
+    """Generated address stream: line indices and per-access masks."""
+
+    line_index: np.ndarray
+    sector_mask: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.line_index) != len(self.sector_mask):
+            raise ConfigurationError("pattern arrays must align")
+
+    def __len__(self) -> int:
+        return len(self.line_index)
+
+
+def _single_sector_masks(rng: RngStream, n: int) -> np.ndarray:
+    """Random one-sector masks (irregular accesses touch 32 B)."""
+    return (1 << rng.integers(0, 4, size=n)).astype(np.uint8)
+
+
+def stream(n: int, region_lines: int, rng: RngStream) -> PatternResult:
+    """Sequential full-line sweep, wrapping over the region.
+
+    The classic coalesced GPU pattern: consecutive warps touch
+    consecutive lines with all four sectors live.
+    """
+    if region_lines <= 0:
+        raise ConfigurationError("region must contain lines")
+    idx = np.arange(n, dtype=np.int64) % region_lines
+    return PatternResult(idx, np.full(n, FULL_MASK, dtype=np.uint8))
+
+
+def strided(n: int, region_lines: int, stride: int, rng: RngStream) -> PatternResult:
+    """Fixed-stride sweep (column walks of dense solvers).
+
+    Strides defeat line-level spatial locality, so accesses carry a
+    single live sector.
+    """
+    if region_lines <= 0 or stride <= 0:
+        raise ConfigurationError("region and stride must be positive")
+    idx = (np.arange(n, dtype=np.int64) * stride) % region_lines
+    return PatternResult(idx, _single_sector_masks(rng, n))
+
+
+def random_uniform(n: int, region_lines: int, rng: RngStream) -> PatternResult:
+    """Uniformly random single-sector accesses (hash tables, histograms)."""
+    if region_lines <= 0:
+        raise ConfigurationError("region must contain lines")
+    idx = rng.integers(0, region_lines, size=n).astype(np.int64)
+    return PatternResult(idx, _single_sector_masks(rng, n))
+
+
+def graph_zipf(
+    n: int, region_lines: int, rng: RngStream, skew: float = 1.1,
+    shuffle: bool = True,
+) -> PatternResult:
+    """Power-law line popularity (graph frontier expansion).
+
+    Vertex degrees follow a power law, so a few hub lines are touched
+    constantly while the long tail is touched once — poor temporal
+    locality overall, single-sector accesses. With ``shuffle`` (the
+    default) hot lines scatter over the region as renumbered graphs do;
+    without it the hottest lines sit contiguously at the region start,
+    the shape of skewed histogram bins or degree-sorted vertex arrays.
+    """
+    if region_lines <= 0:
+        raise ConfigurationError("region must contain lines")
+    ranks = rng.zipf_bounded(skew, region_lines, n).astype(np.int64)
+    if not shuffle:
+        return PatternResult(ranks, _single_sector_masks(rng, n))
+    placement = np.arange(region_lines, dtype=np.int64)
+    rng.shuffle(placement)
+    return PatternResult(placement[ranks], _single_sector_masks(rng, n))
+
+
+def stencil(
+    n: int, region_lines: int, row_lines: int, rng: RngStream
+) -> PatternResult:
+    """Row sweep with north/south neighbours (5-point stencils).
+
+    Every output point reads its own line plus the lines one row above
+    and below; the sweep revisits each line from three consecutive rows,
+    giving the strong-but-finite reuse stencil kernels show.
+    """
+    if region_lines <= 0 or row_lines <= 0:
+        raise ConfigurationError("region and row width must be positive")
+    centre = np.arange(n, dtype=np.int64) // 3
+    offset = (np.arange(n, dtype=np.int64) % 3 - 1) * row_lines
+    idx = (centre + offset) % region_lines
+    return PatternResult(idx, np.full(n, FULL_MASK, dtype=np.uint8))
+
+
+def tiled(
+    n: int, region_lines: int, tile_lines: int, rng: RngStream
+) -> PatternResult:
+    """Tile-at-a-time reuse (blocked matrix kernels).
+
+    Accesses stay inside one tile for ``tile_lines`` * revisit rounds,
+    then jump to a random next tile: high short-range temporal locality,
+    none across tiles.
+    """
+    if tile_lines <= 0 or region_lines < tile_lines:
+        raise ConfigurationError("tile must fit in region")
+    revisits = 4
+    span = tile_lines * revisits
+    n_tiles = max(1, region_lines // tile_lines)
+    tile_of_access = rng.integers(0, n_tiles, size=(n + span - 1) // span)
+    bases = np.repeat(tile_of_access * tile_lines, span)[:n]
+    within = rng.integers(0, tile_lines, size=n)
+    idx = (bases + within).astype(np.int64) % region_lines
+    return PatternResult(idx, np.full(n, FULL_MASK, dtype=np.uint8))
+
+
+PATTERNS = {
+    "stream": stream,
+    "strided": strided,
+    "random": random_uniform,
+    "graph": graph_zipf,
+    "stencil": stencil,
+    "tiled": tiled,
+}
+
+
+def generate(
+    kind: str, n: int, region_lines: int, rng: RngStream, **kwargs
+) -> PatternResult:
+    """Dispatch a pattern by name with its extra parameters."""
+    if kind not in PATTERNS:
+        raise ConfigurationError(
+            f"unknown pattern {kind!r}; choose from {sorted(PATTERNS)}"
+        )
+    return PATTERNS[kind](n, region_lines, rng=rng, **kwargs)

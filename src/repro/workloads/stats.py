@@ -1,0 +1,77 @@
+"""Trace statistics (paper Fig. 10 and general characterization)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Characterization summary of one trace."""
+
+    name: str
+    accesses: int
+    read_accesses: int
+    write_accesses: int
+    read_sectors: int
+    write_sectors: int
+    touched_lines: int
+    footprint_bytes: int
+    memory_intensity: float
+
+    @property
+    def read_fraction(self) -> float:
+        return self.read_accesses / self.accesses if self.accesses else 0.0
+
+    @property
+    def write_fraction(self) -> float:
+        return 1.0 - self.read_fraction
+
+    @property
+    def read_sector_fraction(self) -> float:
+        total = self.read_sectors + self.write_sectors
+        return self.read_sectors / total if total else 0.0
+
+    @property
+    def avg_sectors_per_access(self) -> float:
+        total = self.read_sectors + self.write_sectors
+        return total / self.accesses if self.accesses else 0.0
+
+
+def characterize(trace: Trace) -> TraceStats:
+    """Single-pass characterization of a trace."""
+    read_sectors = 0
+    write_sectors = 0
+    lines = set()
+    for access in trace:
+        lines.add(access.line_addr)
+        if access.write:
+            write_sectors += access.sector_count
+        else:
+            read_sectors += access.sector_count
+    return TraceStats(
+        name=trace.name,
+        accesses=len(trace),
+        read_accesses=trace.read_accesses,
+        write_accesses=trace.write_accesses,
+        read_sectors=read_sectors,
+        write_sectors=write_sectors,
+        touched_lines=len(lines),
+        footprint_bytes=len(lines) * 128,
+        memory_intensity=trace.memory_intensity,
+    )
+
+
+def rw_breakdown(traces: Dict[str, Trace]) -> Dict[str, Dict[str, float]]:
+    """Paper Fig. 10: per-benchmark read/write request shares."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name, trace in traces.items():
+        stats = characterize(trace)
+        out[name] = {
+            "read": stats.read_fraction,
+            "write": stats.write_fraction,
+        }
+    return out

@@ -1,0 +1,125 @@
+"""Trace records: the interface between workloads and the simulator.
+
+A trace is a sequence of coalesced L2 accesses. Each access names a
+128-byte line, a mask of touched 32-byte sectors, a direction, and — for
+the sectors it touches — the 32-byte value images the access observes
+(reads) or produces (writes). Values are what drive Plutus's value
+cache; traces without values (``values=None``) still exercise every
+non-value mechanism.
+
+Records use ``__slots__`` because traces run to hundreds of thousands of
+instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.common.bitops import popcount
+from repro.common.errors import TraceError
+
+#: Per-sector payload: (sector slot within the line, 32-byte image).
+SectorValues = Tuple[int, bytes]
+
+
+class TraceAccess:
+    """One coalesced memory access issued to the L2."""
+
+    __slots__ = ("line_addr", "sector_mask", "write", "values")
+
+    def __init__(
+        self,
+        line_addr: int,
+        sector_mask: int,
+        write: bool,
+        values: Optional[Sequence[SectorValues]] = None,
+    ) -> None:
+        if line_addr < 0 or line_addr % 128 != 0:
+            raise TraceError(f"line address {line_addr:#x} not 128B aligned")
+        if not 0 < sector_mask < 16:
+            raise TraceError(f"sector mask {sector_mask:#06b} out of range")
+        if values is not None:
+            for slot, image in values:
+                if not (sector_mask >> slot) & 1:
+                    raise TraceError(f"values given for unselected sector {slot}")
+                if len(image) != 32:
+                    raise TraceError("sector image must be 32 bytes")
+        self.line_addr = line_addr
+        self.sector_mask = sector_mask
+        self.write = bool(write)
+        self.values = tuple(values) if values is not None else None
+
+    @property
+    def sector_count(self) -> int:
+        return popcount(self.sector_mask)
+
+    def sectors(self) -> Iterable[int]:
+        """Yield the selected sector slots (0..3)."""
+        for slot in range(4):
+            if (self.sector_mask >> slot) & 1:
+                yield slot
+
+    def value_for(self, slot: int) -> Optional[bytes]:
+        if self.values is None:
+            return None
+        for s, image in self.values:
+            if s == slot:
+                return image
+        return None
+
+    def __repr__(self) -> str:
+        kind = "W" if self.write else "R"
+        return (
+            f"TraceAccess({kind} {self.line_addr:#x} "
+            f"mask={self.sector_mask:04b})"
+        )
+
+
+@dataclass
+class Trace:
+    """A named access stream with the profile facts the model needs."""
+
+    name: str
+    accesses: List[TraceAccess] = field(default_factory=list)
+    #: Fraction of runtime that is memory-bound (drives the perf model's
+    #: traffic -> IPC mapping; the paper's high/medium intensity classes).
+    memory_intensity: float = 0.8
+    #: Total dynamic instructions the trace stands for (perf/power model).
+    instructions: int = 0
+    #: Pre-window write history depth (see BenchmarkProfile).
+    counter_warmup_passes: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.memory_intensity <= 1.0:
+            raise TraceError("memory intensity must be within [0, 1]")
+        if self.instructions <= 0:
+            # Default: a memory-intensive kernel retires a handful of
+            # instructions per L2 access.
+            self.instructions = max(1, 20 * len(self.accesses))
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self):
+        return iter(self.accesses)
+
+    @property
+    def read_accesses(self) -> int:
+        return sum(1 for a in self.accesses if not a.write)
+
+    @property
+    def write_accesses(self) -> int:
+        return sum(1 for a in self.accesses if a.write)
+
+    @property
+    def read_fraction(self) -> float:
+        return self.read_accesses / len(self.accesses) if self.accesses else 0.0
+
+    @property
+    def touched_lines(self) -> int:
+        return len({a.line_addr for a in self.accesses})
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.touched_lines * 128

@@ -1,0 +1,168 @@
+"""Trace file import/export.
+
+Users with real memory traces (e.g. dumped from GPGPU-Sim's memory
+partition interface) can feed them to the simulator through this
+module. The format is deliberately trivial — one access per line:
+
+    R 0x00001280 0b0011 aabbcc...32B-hex ddeeff...32B-hex
+    W 0x00009000 0b1000 00112233...
+
+i.e. direction, 128-byte-aligned line address (hex), sector mask
+(binary, bit i = sector i), then one 64-hex-digit sector image per set
+mask bit in ascending sector order. Images are optional: lines without
+them still drive every non-value mechanism.
+
+Comment lines start with ``#``; a header comment carries the trace
+name, memory intensity, and warmup depth so a round-trip preserves the
+profile facts the simulator needs.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, TextIO, Tuple, Union
+
+from repro.common.errors import TraceError
+from repro.workloads.trace import Trace, TraceAccess
+
+_HEADER_PREFIX = "#repro-trace"
+
+
+def dump_trace(trace: Trace, fp: TextIO) -> None:
+    """Serialize *trace* to a text stream."""
+    fp.write(
+        f"{_HEADER_PREFIX} name={trace.name} "
+        f"intensity={trace.memory_intensity} "
+        f"instructions={trace.instructions} "
+        f"warmup={trace.counter_warmup_passes}\n"
+    )
+    for access in trace:
+        parts = [
+            "W" if access.write else "R",
+            f"0x{access.line_addr:08x}",
+            f"0b{access.sector_mask:04b}",
+        ]
+        if access.values is not None:
+            for slot in sorted(access.sectors()):
+                image = access.value_for(slot)
+                parts.append(image.hex() if image is not None else "-")
+        fp.write(" ".join(parts) + "\n")
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Serialize *trace* to a string."""
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    return buffer.getvalue()
+
+
+def _parse_header(line: str) -> dict:
+    fields = {}
+    for token in line[len(_HEADER_PREFIX):].split():
+        key, _, value = token.partition("=")
+        fields[key] = value
+    return fields
+
+
+def _parse_access(line_no: int, tokens: List[str]) -> TraceAccess:
+    if len(tokens) < 3:
+        raise TraceError(f"line {line_no}: expected 'R/W addr mask ...'")
+    direction, addr_token, mask_token = tokens[:3]
+    if direction not in ("R", "W"):
+        raise TraceError(f"line {line_no}: direction must be R or W")
+    try:
+        line_addr = int(addr_token, 0)
+        mask = int(mask_token, 0)
+    except ValueError as exc:
+        raise TraceError(f"line {line_no}: {exc}") from None
+
+    values: Union[List[Tuple[int, bytes]], None] = None
+    image_tokens = tokens[3:]
+    if image_tokens:
+        slots = [s for s in range(4) if (mask >> s) & 1]
+        if len(image_tokens) != len(slots):
+            raise TraceError(
+                f"line {line_no}: {len(slots)} sectors set but "
+                f"{len(image_tokens)} images given"
+            )
+        values = []
+        for slot, token in zip(slots, image_tokens):
+            if token == "-":
+                continue
+            try:
+                image = bytes.fromhex(token)
+            except ValueError:
+                raise TraceError(
+                    f"line {line_no}: bad hex image for sector {slot}"
+                ) from None
+            if len(image) != 32:
+                raise TraceError(
+                    f"line {line_no}: sector image must be 32 bytes"
+                )
+            values.append((slot, image))
+        if not values:
+            values = None
+    return TraceAccess(line_addr, mask, direction == "W", values)
+
+
+def load_trace(fp: TextIO, name: str = "imported") -> Trace:
+    """Parse a trace from a text stream."""
+    accesses: List[TraceAccess] = []
+    intensity = 0.8
+    instructions = 0
+    warmup = 3
+    for line_no, raw in enumerate(fp, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(_HEADER_PREFIX):
+            header = _parse_header(line)
+            name = header.get("name", name)
+            intensity = float(header.get("intensity", intensity))
+            instructions = int(header.get("instructions", instructions))
+            warmup = int(header.get("warmup", warmup))
+            continue
+        if line.startswith("#"):
+            continue
+        accesses.append(_parse_access(line_no, line.split()))
+    if not accesses:
+        raise TraceError("trace file contains no accesses")
+    return Trace(
+        name=name,
+        accesses=accesses,
+        memory_intensity=intensity,
+        instructions=instructions or 20 * len(accesses),
+        counter_warmup_passes=warmup,
+    )
+
+
+def loads_trace(text: str, name: str = "imported") -> Trace:
+    """Parse a trace from a string."""
+    return load_trace(io.StringIO(text), name=name)
+
+
+def merge_traces(traces: Iterable[Trace], name: str = "merged") -> Trace:
+    """Concatenate traces (multi-kernel executions).
+
+    Memory intensity is access-weighted; warmup takes the maximum (the
+    deepest history wins, conservatively).
+    """
+    traces = list(traces)
+    if not traces:
+        raise TraceError("nothing to merge")
+    accesses: List[TraceAccess] = []
+    weighted_intensity = 0.0
+    instructions = 0
+    warmup = 0
+    for trace in traces:
+        accesses.extend(trace.accesses)
+        weighted_intensity += trace.memory_intensity * len(trace)
+        instructions += trace.instructions
+        warmup = max(warmup, trace.counter_warmup_passes)
+    return Trace(
+        name=name,
+        accesses=accesses,
+        memory_intensity=weighted_intensity / len(accesses),
+        instructions=instructions,
+        counter_warmup_passes=warmup,
+    )

@@ -1,0 +1,91 @@
+"""Tests for the Eq. 1 forgery analysis."""
+
+import pytest
+
+from repro.analysis.forgery import (
+    binomial_tail,
+    design_space,
+    forgery_probability,
+    minimum_hits_required,
+    single_hit_probability,
+)
+
+
+class TestSingleHitProbability:
+    def test_paper_parameters(self):
+        """K = 256 entries, M = 28 effective bits -> p = 2^-20."""
+        assert single_hit_probability(256, 28) == pytest.approx(2.0**-20)
+
+    def test_capped_at_one(self):
+        assert single_hit_probability(10**10, 8) == 1.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            single_hit_probability(0, 28)
+        with pytest.raises(ValueError):
+            single_hit_probability(256, 0)
+
+
+class TestBinomialTail:
+    def test_certain_event(self):
+        assert binomial_tail(4, 0, 0.5) == pytest.approx(1.0)
+
+    def test_all_successes(self):
+        assert binomial_tail(4, 4, 0.5) == pytest.approx(0.5**4)
+
+    def test_known_value(self):
+        # P(at least 3 of 4 at p=0.5) = (4 + 1)/16
+        assert binomial_tail(4, 3, 0.5) == pytest.approx(5 / 16)
+
+    def test_monotone_in_x(self):
+        p = 0.1
+        tails = [binomial_tail(4, x, p) for x in range(5)]
+        assert tails == sorted(tails, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binomial_tail(4, 5, 0.5)
+        with pytest.raises(ValueError):
+            binomial_tail(4, 2, 1.5)
+
+
+class TestPaperDerivation:
+    def test_three_hits_suffice_at_256_entries(self):
+        """The paper's headline Eq. 1 solve: x = 3 of 4."""
+        assert minimum_hits_required(256, 28, 4, bound=2.0**-56) == 3
+
+    def test_two_hits_do_not_suffice(self):
+        assert forgery_probability(256, 28, 4, 2, 1) > 2.0**-56
+
+    def test_larger_caches_need_more_hits(self):
+        assert minimum_hits_required(512, 28, 4) == 4
+        assert minimum_hits_required(1024, 28, 4) == 4
+
+    def test_sector_check_beats_8B_mac(self):
+        """Both 128-bit halves must pass: the sector-level probability
+        is far below an 8-byte MAC's 2^-64 collision rate."""
+        sector_p = forgery_probability(256, 28, 4, 3, units_per_access=2)
+        assert sector_p < 2.0**-64
+
+    def test_impossible_bound_returns_none(self):
+        assert minimum_hits_required(2**28, 28, 4, bound=2.0**-56) is None
+
+
+class TestDesignSpace:
+    def test_rows_cover_requested_sizes(self):
+        rows = design_space(entry_options=(64, 256))
+        assert [r.cache_entries for r in rows] == [64, 256]
+
+    def test_every_design_point_beats_8B_mac(self):
+        assert all(r.beats_8B_mac for r in design_space())
+
+    def test_per_sector_is_square_of_per_unit(self):
+        for row in design_space():
+            assert row.per_sector_probability == pytest.approx(
+                row.per_unit_probability**2
+            )
+
+    def test_probability_grows_with_cache_at_fixed_x(self):
+        p64 = forgery_probability(64, 28, 4, 3, 1)
+        p256 = forgery_probability(256, 28, 4, 3, 1)
+        assert p256 > p64

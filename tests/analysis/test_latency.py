@@ -1,0 +1,54 @@
+"""Tests for the verification-latency model."""
+
+import pytest
+
+from repro.analysis.latency import (
+    LatencyParams,
+    estimate_fill_latency,
+    latency_is_hidden,
+    resident_warps,
+)
+from repro.gpu.config import VOLTA
+
+
+class TestEstimate:
+    def test_components_positive_for_secured(self, engine_results):
+        estimate = estimate_fill_latency(engine_results["pssm"])
+        assert estimate.decrypt_cycles > 0
+        assert estimate.integrity_cycles > 0
+        assert estimate.total_cycles > estimate.decrypt_cycles
+
+    def test_plutus_integrity_latency_below_pssm(self, engine_results):
+        """Value-verified fills replace a 40-cycle MAC with a 4-cycle
+        cache vote, so the average integrity step shrinks."""
+        pssm = estimate_fill_latency(engine_results["pssm"])
+        plutus = estimate_fill_latency(engine_results["plutus"])
+        assert plutus.integrity_cycles < pssm.integrity_cycles
+
+    def test_params_scale_results(self, engine_results):
+        slow = LatencyParams(dram_access_cycles=1000)
+        fast = LatencyParams(dram_access_cycles=100)
+        a = estimate_fill_latency(engine_results["pssm"], slow)
+        b = estimate_fill_latency(engine_results["pssm"], fast)
+        assert a.counter_cycles > b.counter_cycles
+
+
+class TestToleranceClaim:
+    def test_volta_keeps_thousands_of_warps(self):
+        assert resident_warps(VOLTA) == 80 * 64
+
+    def test_all_designs_latencies_are_hidden(self, engine_results):
+        """The paper's architectural premise: even serialized
+        verification needs far fewer in-flight warps than a Volta-class
+        GPU keeps resident."""
+        for key in ("pssm", "plutus"):
+            estimate = estimate_fill_latency(engine_results[key])
+            assert latency_is_hidden(estimate, VOLTA), (
+                key, estimate.total_cycles
+            )
+
+    def test_warps_to_hide_follows_littles_law(self, engine_results):
+        estimate = estimate_fill_latency(engine_results["plutus"])
+        assert estimate.warps_to_hide(issue_width=2) == pytest.approx(
+            2 * estimate.total_cycles
+        )

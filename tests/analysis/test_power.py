@@ -1,0 +1,76 @@
+"""Tests for the power model (Fig. 22 machinery)."""
+
+import pytest
+
+from repro.analysis.power import (
+    EnergyParams,
+    estimate_power,
+    kernel_seconds,
+    power_overhead,
+)
+
+
+class TestKernelSeconds:
+    def test_more_traffic_more_time(self, engine_results):
+        base_bytes = engine_results["nosec"].total_bytes
+        nosec_t = kernel_seconds(engine_results["nosec"], base_bytes)
+        pssm_t = kernel_seconds(engine_results["pssm"], base_bytes)
+        assert pssm_t > nosec_t
+
+    def test_invalid_baseline(self, engine_results):
+        with pytest.raises(ValueError):
+            kernel_seconds(engine_results["pssm"], 0)
+
+
+class TestEstimate:
+    def test_more_traffic_more_energy(self, engine_results):
+        base_bytes = engine_results["nosec"].total_bytes
+        nosec = estimate_power(engine_results["nosec"], base_bytes)
+        pssm = estimate_power(engine_results["pssm"], base_bytes)
+        assert pssm.energy_joules > nosec.energy_joules
+
+    def test_baseline_has_no_crypto_energy(self, engine_results):
+        """No-security runs pay DRAM and background only; comparing a
+        zero-background estimate isolates that."""
+        params = EnergyParams(background_watts=1e-9)
+        base_bytes = engine_results["nosec"].total_bytes
+        nosec = estimate_power(engine_results["nosec"], base_bytes, params)
+        dram_only = params.dram_pj_per_byte * base_bytes * 1e-12
+        assert nosec.energy_joules == pytest.approx(dram_only, rel=0.01)
+
+
+class TestOverheadShape:
+    def overheads(self, engine_results):
+        base_bytes = engine_results["nosec"].total_bytes
+        base = estimate_power(engine_results["nosec"], base_bytes)
+        out = {}
+        for key in ("pssm", "plutus"):
+            est = estimate_power(engine_results[key], base_bytes)
+            out[key] = power_overhead(est, base)
+        return out
+
+    def test_security_has_positive_power_overhead(self, engine_results):
+        overheads = self.overheads(engine_results)
+        assert overheads["pssm"] > 0
+        assert overheads["plutus"] > 0
+
+    def test_plutus_overhead_below_pssm(self, engine_results):
+        """The Fig. 22 headline: Plutus substantially cuts the overhead."""
+        overheads = self.overheads(engine_results)
+        assert overheads["plutus"] < overheads["pssm"]
+
+    def test_power_overhead_below_energy_overhead(self, engine_results):
+        """Runtime stretching dilutes dynamic energy into lower power."""
+        base_bytes = engine_results["nosec"].total_bytes
+        base = estimate_power(engine_results["nosec"], base_bytes)
+        est = estimate_power(engine_results["pssm"], base_bytes)
+        energy_overhead = est.energy_joules / base.energy_joules - 1
+        assert power_overhead(est, base) < energy_overhead
+
+    def test_params_are_tunable(self, engine_results):
+        base_bytes = engine_results["nosec"].total_bytes
+        light = EnergyParams(mac_pj_per_op=0.0, aes_pj_per_block=0.0,
+                             sram_pj_per_access=0.0)
+        default_est = estimate_power(engine_results["pssm"], base_bytes)
+        light_est = estimate_power(engine_results["pssm"], base_bytes, light)
+        assert light_est.energy_joules < default_est.energy_joules

@@ -1,0 +1,69 @@
+"""Tests for security-level accounting."""
+
+import pytest
+
+from repro.analysis.security import (
+    comparison_table,
+    counter_lifetime_writes,
+    mac_collision,
+    storage_overhead_fraction,
+    value_check_level,
+)
+
+
+class TestMacLevels:
+    def test_collision_rates(self):
+        assert mac_collision(4).success_probability == 2.0**-32
+        assert mac_collision(8).success_probability == 2.0**-64
+
+    def test_bits_of_security(self):
+        assert mac_collision(8).bits_of_security == pytest.approx(64.0)
+
+    def test_invalid_tag(self):
+        with pytest.raises(ValueError):
+            mac_collision(0)
+
+
+class TestValueCheckLevel:
+    def test_stronger_than_the_8B_mac_it_replaces(self):
+        """The paper's central security claim."""
+        value = value_check_level()
+        mac8 = mac_collision(8)
+        assert value.success_probability < mac8.success_probability
+
+    def test_vastly_stronger_than_pssm_4B(self):
+        value = value_check_level()
+        assert value.bits_of_security > mac_collision(4).bits_of_security + 50
+
+
+class TestComparisonTable:
+    def test_table_ordering(self):
+        table = comparison_table()
+        assert len(table) == 4
+        # Last row (value check) is the strongest.
+        assert table[-1].success_probability == min(
+            r.success_probability for r in table
+        )
+
+
+class TestCounterLifetime:
+    def test_worst_case_writes(self):
+        assert counter_lifetime_writes(minor_bits=6, major_bits=64) == pytest.approx(
+            2.0**6 * 2.0**64
+        )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            counter_lifetime_writes(minor_bits=0)
+
+
+class TestStorageOverhead:
+    def test_mac_dominates(self):
+        """8 B tag per 32 B sector = 25% before counters and tree."""
+        overhead = storage_overhead_fraction()
+        assert 0.25 < overhead < 0.35
+
+    def test_smaller_tags_smaller_overhead(self):
+        assert storage_overhead_fraction(mac_tag_bytes=4) < storage_overhead_fraction(
+            mac_tag_bytes=8
+        )

@@ -1,0 +1,78 @@
+"""Tests for metadata storage accounting (Section IV-F)."""
+
+import pytest
+
+from repro.analysis.storage import design_comparison, storage_report
+from repro.metadata.compact import DESIGN_2BIT, DESIGN_3BIT_ADAPTIVE
+from repro.metadata.layout import GranularityDesign
+from repro.secure.value_cache import ValueCacheConfig
+
+SECTORS = 4 * 1024 * 1024  # one 128 MiB partition
+
+
+class TestBasicAccounting:
+    def test_counters_are_1_32_of_data(self):
+        report = storage_report(SECTORS)
+        assert report.counter_bytes == report.data_bytes // 32
+
+    def test_macs_are_quarter_of_data(self):
+        report = storage_report(SECTORS, mac_tag_bytes=8)
+        assert report.mac_bytes == report.data_bytes // 4
+
+    def test_macs_dominate_offchip(self):
+        report = storage_report(SECTORS)
+        assert report.mac_bytes > report.counter_bytes + report.bmt_bytes
+
+    def test_breakdown_sums_to_total(self):
+        report = storage_report(SECTORS, compact=DESIGN_3BIT_ADAPTIVE)
+        assert sum(report.breakdown().values()) == report.offchip_total
+
+
+class TestPaperNumbers:
+    def test_fine_bmt_reaches_1_33_mb(self):
+        """Section IV-F: BMT storage grows to 1.33 MB."""
+        report = storage_report(SECTORS, design=GranularityDesign.ALL_32)
+        assert report.bmt_bytes == pytest.approx(1.33 * 1024**2, rel=0.05)
+
+    def test_value_cache_about_1_kb(self):
+        report = storage_report(SECTORS, value_cache=ValueCacheConfig())
+        assert 1024 <= report.onchip_value_cache_bytes <= 1200
+
+    def test_compact_layer_adds_two_caches(self):
+        plain = storage_report(SECTORS)
+        with_compact = storage_report(SECTORS, compact=DESIGN_3BIT_ADAPTIVE)
+        assert (
+            with_compact.onchip_metadata_sram_bytes
+            - plain.onchip_metadata_sram_bytes
+            == 2 * 2048
+        )
+
+
+class TestCompaction:
+    def test_3bit_mirror_is_half_of_originals(self):
+        report = storage_report(SECTORS, compact=DESIGN_3BIT_ADAPTIVE)
+        assert report.compact_counter_bytes == report.counter_bytes // 2
+
+    def test_2bit_mirror_is_quarter_of_originals(self):
+        report = storage_report(SECTORS, compact=DESIGN_2BIT)
+        assert report.compact_counter_bytes == report.counter_bytes // 4
+
+    def test_mini_bmt_smaller_than_original(self):
+        report = storage_report(
+            SECTORS, design=GranularityDesign.ALL_32,
+            compact=DESIGN_3BIT_ADAPTIVE,
+        )
+        assert report.compact_bmt_bytes < report.bmt_bytes
+
+
+class TestDesignComparison:
+    def test_both_designs_reported(self):
+        table = design_comparison()
+        assert set(table) == {"pssm", "plutus"}
+
+    def test_plutus_trades_storage_for_bandwidth(self):
+        """Plutus costs MORE storage (taller tree + mirror layer) —
+        the paper's explicit trade: storage is cheap, bandwidth is not."""
+        table = design_comparison()
+        assert table["plutus"].offchip_total > table["pssm"].offchip_total
+        assert table["plutus"].bmt_bytes > table["pssm"].bmt_bytes

@@ -1,0 +1,44 @@
+"""Tests for the exception hierarchy contracts."""
+
+import pytest
+
+from repro.common import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in (
+            "ConfigurationError",
+            "AlignmentError",
+            "CryptoError",
+            "KeySizeError",
+            "BlockSizeError",
+            "SecurityViolation",
+            "IntegrityError",
+            "ReplayError",
+            "CounterOverflowError",
+            "SimulationError",
+            "TraceError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_attack_classes_are_security_violations(self):
+        assert issubclass(errors.IntegrityError, errors.SecurityViolation)
+        assert issubclass(errors.ReplayError, errors.SecurityViolation)
+
+    def test_value_error_compatibility(self):
+        """Size/alignment errors double as ValueError for generic callers."""
+        assert issubclass(errors.AlignmentError, ValueError)
+        assert issubclass(errors.KeySizeError, ValueError)
+        assert issubclass(errors.BlockSizeError, ValueError)
+
+    def test_security_violation_carries_address(self):
+        violation = errors.IntegrityError("tampered", address=0x1000)
+        assert violation.address == 0x1000
+
+    def test_security_violation_address_optional(self):
+        assert errors.ReplayError("stale").address is None
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.CounterOverflowError("boom")

@@ -1,0 +1,71 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngStream
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = RngStream(42).integers(0, 1000, size=32)
+        b = RngStream(42).integers(0, 1000, size=32)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_draws(self):
+        a = RngStream(42).integers(0, 10**9, size=32)
+        b = RngStream(43).integers(0, 10**9, size=32)
+        assert not np.array_equal(a, b)
+
+    def test_bytes_deterministic(self):
+        assert RngStream(9).bytes(64) == RngStream(9).bytes(64)
+
+
+class TestChildStreams:
+    def test_children_are_independent_of_sibling_consumption(self):
+        root_a = RngStream(7)
+        draws_before = root_a.child("b").integers(0, 100, size=8)
+
+        root_b = RngStream(7)
+        root_b.child("a").integers(0, 100, size=1000)  # heavy sibling use
+        draws_after = root_b.child("b").integers(0, 100, size=8)
+        assert np.array_equal(draws_before, draws_after)
+
+    def test_children_with_different_names_differ(self):
+        root = RngStream(7)
+        a = root.child("a").integers(0, 10**9, size=16)
+        b = root.child("b").integers(0, 10**9, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_nested_children_are_stable(self):
+        x = RngStream(5).child("p").child("q").random(4)
+        y = RngStream(5).child("p").child("q").random(4)
+        assert np.array_equal(x, y)
+
+
+class TestDistributions:
+    def test_integers_range(self):
+        draws = RngStream(1).integers(10, 20, size=1000)
+        assert draws.min() >= 10 and draws.max() < 20
+
+    def test_random_unit_interval(self):
+        draws = RngStream(1).random(1000)
+        assert draws.min() >= 0.0 and draws.max() < 1.0
+
+    def test_zipf_bounded_range_and_skew(self):
+        draws = RngStream(1).zipf_bounded(1.2, 1000, size=20000)
+        assert draws.min() >= 0 and draws.max() < 1000
+        # Rank 0 must be the most popular under a Zipf law.
+        counts = np.bincount(draws, minlength=1000)
+        assert counts[0] == counts.max()
+        assert counts[0] > 5 * max(counts[500], 1)
+
+    def test_zipf_bounded_rejects_empty_support(self):
+        with pytest.raises(ValueError):
+            RngStream(1).zipf_bounded(1.0, 0, size=10)
+
+    def test_shuffle_permutes_in_place(self):
+        array = np.arange(100)
+        RngStream(1).shuffle(array)
+        assert sorted(array.tolist()) == list(range(100))
+        assert not np.array_equal(array, np.arange(100))

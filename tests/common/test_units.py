@@ -1,0 +1,75 @@
+"""Unit tests for size/bandwidth/frequency value types."""
+
+import pytest
+
+from repro.common.units import Bandwidth, Frequency, Size
+
+
+class TestSize:
+    def test_constructors(self):
+        assert Size.from_kib(2).bytes == 2048
+        assert Size.from_mib(1).bytes == 1024**2
+        assert Size.from_gib(4).bytes == 4 * 1024**3
+
+    def test_accessors(self):
+        size = Size.from_mib(3)
+        assert size.kib == 3 * 1024
+        assert size.mib == 3
+        assert size.gib == 3 / 1024
+
+    def test_arithmetic(self):
+        assert (Size(100) + Size(28)).bytes == 128
+        assert (Size(128) - Size(28)).bytes == 100
+        assert (Size(32) * 4).bytes == 128
+        assert (4 * Size(32)).bytes == 128
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Size(-1)
+
+    def test_ordering(self):
+        assert Size(1) < Size(2)
+        assert max(Size(5), Size(3)) == Size(5)
+
+    def test_str_picks_best_unit(self):
+        assert str(Size(2048)) == "2 KiB"
+        assert str(Size(3 * 1024**2)) == "3 MiB"
+        assert str(Size(4 * 1024**3)) == "4 GiB"
+        assert str(Size(100)) == "100 B"
+
+
+class TestBandwidth:
+    def test_gb_per_s_roundtrip(self):
+        bandwidth = Bandwidth.from_gb_per_s(868.0)
+        assert bandwidth.gb_per_s == pytest.approx(868.0)
+
+    def test_transfer_time(self):
+        bandwidth = Bandwidth.from_gb_per_s(1.0)
+        assert bandwidth.transfer_seconds(Size(10**9)) == pytest.approx(1.0)
+
+    def test_zero_bandwidth_cannot_transfer(self):
+        with pytest.raises(ZeroDivisionError):
+            Bandwidth(0).transfer_seconds(Size(1))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Bandwidth(-1.0)
+
+    def test_str(self):
+        assert str(Bandwidth.from_gb_per_s(868)) == "868 GB/s"
+
+
+class TestFrequency:
+    def test_mhz_roundtrip(self):
+        assert Frequency.from_mhz(1132.0).mhz == pytest.approx(1132.0)
+
+    def test_cycle_time(self):
+        assert Frequency.from_mhz(1000.0).cycles_to_seconds(1000) == pytest.approx(1e-6)
+
+    def test_zero_frequency_has_no_cycle_time(self):
+        with pytest.raises(ZeroDivisionError):
+            Frequency(0).cycles_to_seconds(1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Frequency(-5.0)

@@ -1,0 +1,82 @@
+"""Tests for GF(2^128) arithmetic (XTS tweak sequencing)."""
+
+import pytest
+
+from repro.crypto.gf import (
+    MASK_128,
+    alpha_power,
+    bytes_to_element,
+    element_to_bytes,
+    gf128_mul,
+    multiply_by_alpha,
+    multiply_by_alpha_bytes,
+)
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        data = bytes(range(16))
+        assert element_to_bytes(bytes_to_element(data)) == data
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_element(b"\x00" * 15)
+
+    def test_out_of_range_element_rejected(self):
+        with pytest.raises(ValueError):
+            element_to_bytes(1 << 128)
+
+
+class TestAlpha:
+    def test_simple_shift(self):
+        assert multiply_by_alpha(1) == 2
+
+    def test_feedback_on_overflow(self):
+        assert multiply_by_alpha(1 << 127) == 0x87
+
+    def test_bytes_wrapper_matches(self):
+        data = b"\x01" + b"\x00" * 15
+        expected = element_to_bytes(multiply_by_alpha(bytes_to_element(data)))
+        assert multiply_by_alpha_bytes(data) == expected
+
+    def test_alpha_power_zero_is_identity(self):
+        assert alpha_power(0) == 1
+
+    def test_alpha_power_accumulates(self):
+        assert alpha_power(5) == (1 << 5)
+        e = 1
+        for _ in range(200):
+            e = multiply_by_alpha(e)
+        assert alpha_power(200) == e
+
+    def test_alpha_power_rejects_negative(self):
+        with pytest.raises(ValueError):
+            alpha_power(-1)
+
+
+class TestGeneralMultiply:
+    def test_multiplying_by_two_matches_alpha(self):
+        for element in (1, 0x1234, 1 << 126, MASK_128):
+            assert gf128_mul(element, 2) == multiply_by_alpha(element)
+
+    def test_identity(self):
+        assert gf128_mul(0xDEADBEEF, 1) == 0xDEADBEEF
+
+    def test_zero(self):
+        assert gf128_mul(0, 0x55) == 0
+
+    def test_commutativity(self):
+        a, b = 0x0123456789ABCDEF, 0xFEDCBA9876543210
+        assert gf128_mul(a, b) == gf128_mul(b, a)
+
+    def test_distributivity(self):
+        a, b, c = 0x1111, 0x2222, 0x3333
+        assert gf128_mul(a, b ^ c) == gf128_mul(a, b) ^ gf128_mul(a, c)
+
+    def test_associativity(self):
+        a, b, c = 0xABCDEF, 0x13579B, 0x2468AC
+        assert gf128_mul(gf128_mul(a, b), c) == gf128_mul(a, gf128_mul(b, c))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            gf128_mul(1 << 128, 1)

@@ -1,0 +1,52 @@
+"""SHA-256 tests pinned to FIPS 180-4 vectors and stdlib cross-check."""
+
+import hashlib
+
+import pytest
+
+from repro.crypto.sha256 import sha256, sha256_hex
+
+
+class TestFipsVectors:
+    def test_empty(self):
+        assert sha256_hex(b"") == (
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        )
+
+    def test_abc(self):
+        assert sha256_hex(b"abc") == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_two_block_message(self):
+        msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+        assert sha256_hex(msg) == (
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        )
+
+
+class TestAgainstStdlib:
+    @pytest.mark.parametrize(
+        "length", [0, 1, 55, 56, 57, 63, 64, 65, 127, 128, 1000]
+    )
+    def test_padding_boundaries(self, length):
+        """Lengths straddling the 55/56/64-byte padding edges."""
+        data = bytes(i % 251 for i in range(length))
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+    def test_large_input(self):
+        data = b"\xa5" * 10_000
+        assert sha256(data) == hashlib.sha256(data).digest()
+
+
+class TestProperties:
+    def test_digest_length(self):
+        assert len(sha256(b"x")) == 32
+
+    def test_deterministic(self):
+        assert sha256(b"same") == sha256(b"same")
+
+    def test_avalanche(self):
+        a, b = sha256(b"message0"), sha256(b"message1")
+        differing = sum(bin(x ^ y).count("1") for x, y in zip(a, b))
+        assert differing > 80  # ~128 expected

@@ -1,0 +1,52 @@
+"""Tweak-packing tests."""
+
+import pytest
+
+from repro.crypto.tweak import DEFAULT_TWEAK_LAYOUT, TweakLayout, make_tweak
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        tweak = make_tweak(0xDEADBEEF, 42)
+        assert DEFAULT_TWEAK_LAYOUT.unpack(tweak) == (0xDEADBEEF, 42)
+
+    def test_tweak_is_16_bytes(self):
+        assert len(make_tweak(0, 0)) == 16
+
+    def test_distinct_addresses_distinct_tweaks(self):
+        assert make_tweak(0x100, 1) != make_tweak(0x120, 1)
+
+    def test_distinct_counters_distinct_tweaks(self):
+        assert make_tweak(0x100, 1) != make_tweak(0x100, 2)
+
+    def test_field_isolation(self):
+        """Address bits must not bleed into counter bits."""
+        address, counter = (1 << 64) - 1, (1 << 64) - 1
+        assert DEFAULT_TWEAK_LAYOUT.unpack(
+            DEFAULT_TWEAK_LAYOUT.pack(address, counter)
+        ) == (address, counter)
+
+
+class TestValidation:
+    def test_address_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TWEAK_LAYOUT.pack(1 << 64, 0)
+
+    def test_counter_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TWEAK_LAYOUT.pack(0, 1 << 64)
+
+    def test_layout_must_total_128_bits(self):
+        with pytest.raises(ValueError):
+            TweakLayout(address_bits=64, counter_bits=32)
+
+    def test_unpack_rejects_short_tweak(self):
+        with pytest.raises(ValueError):
+            DEFAULT_TWEAK_LAYOUT.unpack(b"\x00" * 8)
+
+
+class TestCustomLayout:
+    def test_asymmetric_layout(self):
+        layout = TweakLayout(address_bits=40, counter_bits=88)
+        tweak = layout.pack(0xFF_FFFF_FFFF, 123456789)
+        assert layout.unpack(tweak) == (0xFF_FFFF_FFFF, 123456789)

@@ -1,0 +1,111 @@
+"""AES-XTS tests: IEEE P1619 vectors, ciphertext stealing, diffusion."""
+
+import pytest
+
+from repro.common.errors import BlockSizeError, KeySizeError
+from repro.crypto.xts import AesXts
+
+
+class TestP1619Vectors:
+    def test_vector_1_zero_keys(self):
+        xts = AesXts(bytes(32))
+        ct = xts.encrypt_sector(bytes(32), 0)
+        assert ct.hex() == (
+            "917cf69ebd68b2ec9b9fe9a3eadda692"
+            "cd43d2f59598ed858c02c2652fbf922e"
+        )
+
+    def test_vector_2_nonzero(self):
+        key = bytes.fromhex("11" * 16 + "22" * 16)
+        xts = AesXts(key)
+        ct = xts.encrypt_sector(bytes.fromhex("44" * 32), 0x3333333333)
+        assert ct.hex() == (
+            "c454185e6a16936e39334038acef838b"
+            "fb186fff7480adc4289382ecd6d394f0"
+        )
+
+    def test_vector_decrypts(self):
+        key = bytes.fromhex("11" * 16 + "22" * 16)
+        xts = AesXts(key)
+        ct = xts.encrypt_sector(bytes.fromhex("44" * 32), 0x3333333333)
+        assert xts.decrypt_sector(ct, 0x3333333333) == bytes.fromhex("44" * 32)
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("length", [16, 17, 31, 32, 33, 48, 100, 512])
+    def test_roundtrip_all_lengths(self, length):
+        """Ciphertext stealing must handle every non-multiple length."""
+        xts = AesXts(b"\xab" * 32)
+        data = bytes(i % 251 for i in range(length))
+        tweak = (77).to_bytes(16, "little")
+        ct = xts.encrypt(data, tweak)
+        assert len(ct) == length
+        assert xts.decrypt(ct, tweak) == data
+
+    def test_aes256_xts_roundtrip(self):
+        xts = AesXts(b"\x5a" * 64)
+        data = bytes(range(64))
+        tweak = (3).to_bytes(16, "little")
+        assert xts.decrypt(xts.encrypt(data, tweak), tweak) == data
+
+
+class TestTweakSensitivity:
+    def test_different_tweaks_different_ciphertexts(self):
+        xts = AesXts(b"\x01" * 32)
+        data = b"\x00" * 32
+        a = xts.encrypt_sector(data, 1)
+        b = xts.encrypt_sector(data, 2)
+        assert a != b
+
+    def test_same_plaintext_different_blocks_differ(self):
+        """Within one sector, identical 16B blocks must not repeat."""
+        xts = AesXts(b"\x01" * 32)
+        ct = xts.encrypt_sector(b"\x00" * 64, 9)
+        blocks = [ct[i : i + 16] for i in range(0, 64, 16)]
+        assert len(set(blocks)) == 4
+
+    def test_decrypt_with_wrong_tweak_garbles(self):
+        xts = AesXts(b"\x01" * 32)
+        data = b"secret sector contents 32 bytes!"
+        ct = xts.encrypt_sector(data, 5)
+        assert xts.decrypt_sector(ct, 6) != data
+
+
+class TestMalleabilityResistance:
+    """The property Plutus's value check rests on (Section IV-C)."""
+
+    def test_one_bit_flip_randomizes_whole_cipher_block(self):
+        xts = AesXts(b"\x33" * 32)
+        data = bytes(range(32))
+        tweak = (11).to_bytes(16, "little")
+        ct = bytearray(xts.encrypt(data, tweak))
+        ct[0] ^= 0x01
+        recovered = xts.decrypt(bytes(ct), tweak)
+        changed = sum(a != b for a, b in zip(recovered[:16], data[:16]))
+        assert changed >= 12  # essentially the whole block
+
+    def test_tamper_is_confined_to_its_cipher_block(self):
+        xts = AesXts(b"\x33" * 32)
+        data = bytes(range(32))
+        tweak = (11).to_bytes(16, "little")
+        ct = bytearray(xts.encrypt(data, tweak))
+        ct[0] ^= 0x01  # first cipher block only
+        recovered = xts.decrypt(bytes(ct), tweak)
+        assert recovered[16:] == data[16:]
+
+
+class TestValidation:
+    def test_key_must_be_two_aes_keys(self):
+        for size in (16, 24, 48, 33):
+            with pytest.raises(KeySizeError):
+                AesXts(b"\x00" * size)
+
+    def test_sub_block_data_rejected(self):
+        xts = AesXts(b"\x00" * 32)
+        with pytest.raises(BlockSizeError):
+            xts.encrypt(b"\x00" * 15, b"\x00" * 16)
+
+    def test_bad_tweak_length_rejected(self):
+        xts = AesXts(b"\x00" * 32)
+        with pytest.raises(BlockSizeError):
+            xts.encrypt(b"\x00" * 16, b"\x00" * 8)

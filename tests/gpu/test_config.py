@@ -1,0 +1,73 @@
+"""Tests for the GPU configuration (paper Tables I and II)."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.gpu.config import VOLTA, GpuConfig, L2Config
+from repro.mem.address import AddressMap
+from repro.mem.dram import DramConfig
+
+
+class TestTableI:
+    def test_sm_configuration(self):
+        assert VOLTA.num_sms == 80
+        assert VOLTA.core_clock.mhz == pytest.approx(1132.0)
+
+    def test_l2_totals_6mb(self):
+        """2 banks x 96 KB per partition, 6 MB total."""
+        assert VOLTA.l2.size_bytes == 192 * 1024
+        assert VOLTA.total_l2_bytes == 6 * 1024 * 1024
+
+    def test_dram_system(self):
+        assert VOLTA.dram.num_partitions == 32
+        assert VOLTA.dram.peak_bandwidth.gb_per_s == pytest.approx(868.0)
+
+    def test_protected_range_4gb(self):
+        assert VOLTA.address_map.memory_bytes == 4 * 1024**3
+
+    def test_line_and_sector_geometry(self):
+        assert VOLTA.address_map.line_bytes == 128
+        assert VOLTA.address_map.sector_bytes == 32
+
+
+class TestTableII:
+    def test_metadata_caches_2kb_each(self):
+        assert VOLTA.metadata_cache.size_bytes == 2048
+        assert VOLTA.metadata_cache.sectored
+
+    def test_total_metadata_sram_192kb(self):
+        """Paper: 3 caches x 2 kB x 32 partitions = 192 kB."""
+        assert VOLTA.total_metadata_cache_bytes == 192 * 1024
+
+    def test_security_engine_latencies_documented(self):
+        assert VOLTA.mac_latency_cycles == 40
+        assert VOLTA.aes_latency_cycles == 1
+
+
+class TestDerived:
+    def test_sectors_per_partition(self):
+        assert VOLTA.sectors_per_partition == 128 * 1024**2 // 32
+
+    def test_replace_for_sweeps(self):
+        smaller = dataclasses.replace(VOLTA, num_sms=40)
+        assert smaller.num_sms == 40
+        assert VOLTA.num_sms == 80  # original untouched
+
+
+class TestValidation:
+    def test_partition_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GpuConfig(
+                address_map=AddressMap(num_partitions=16),
+                dram=DramConfig(num_partitions=32),
+            )
+
+    def test_zero_sms_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GpuConfig(num_sms=0)
+
+    def test_l2_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            L2Config(size_bytes=1000)

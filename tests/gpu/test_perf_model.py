@@ -1,0 +1,89 @@
+"""Tests for the bandwidth-bound performance model."""
+
+import pytest
+
+from repro.gpu.config import VOLTA
+from repro.gpu.perf_model import (
+    estimate_kernel_time,
+    normalized_ipc,
+    slowdown_vs_baseline,
+    speedup,
+)
+
+
+class TestSlowdown:
+    def test_no_extra_traffic_no_slowdown(self):
+        assert slowdown_vs_baseline(1000, 1000, 0.9) == pytest.approx(1.0)
+
+    def test_fully_memory_bound_scales_with_bytes(self):
+        assert slowdown_vs_baseline(2000, 1000, 1.0) == pytest.approx(2.0)
+
+    def test_compute_bound_is_insensitive(self):
+        assert slowdown_vs_baseline(2000, 1000, 0.0) == pytest.approx(1.0)
+
+    def test_blend(self):
+        # 50% memory bound, 2x traffic -> 1.5x slowdown.
+        assert slowdown_vs_baseline(2000, 1000, 0.5) == pytest.approx(1.5)
+
+    def test_traffic_reduction_can_speed_up(self):
+        assert slowdown_vs_baseline(500, 1000, 1.0) == pytest.approx(0.5)
+
+    def test_invalid_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            slowdown_vs_baseline(1, 1, 1.5)
+
+    def test_zero_baseline_degenerates_gracefully(self):
+        assert slowdown_vs_baseline(100, 0, 0.9) == 1.0
+
+
+class TestNormalizedIpc:
+    def test_ipc_is_reciprocal_slowdown(self, engine_results):
+        base = engine_results["nosec"]
+        pssm = engine_results["pssm"]
+        expected = 1.0 / slowdown_vs_baseline(
+            pssm.total_bytes, base.total_bytes, pssm.memory_intensity
+        )
+        assert normalized_ipc(pssm, base) == pytest.approx(expected)
+
+    def test_security_always_costs_something(self, engine_results):
+        assert normalized_ipc(engine_results["pssm"], engine_results["nosec"]) < 1.0
+
+    def test_plutus_beats_pssm_on_irregular(self, engine_results):
+        base = engine_results["nosec"]
+        assert normalized_ipc(engine_results["plutus"], base) > normalized_ipc(
+            engine_results["pssm"], base
+        )
+
+    def test_cross_trace_comparison_rejected(self, engine_results, lbm_log):
+        from repro.gpu.simulator import replay_events
+        from repro.secure.engine import NoSecurityEngine
+
+        other = replay_events(
+            lbm_log, lambda p, s, t: NoSecurityEngine(p, s, t), VOLTA
+        )
+        with pytest.raises(ValueError):
+            normalized_ipc(engine_results["pssm"], other)
+
+    def test_speedup_ratio(self, engine_results):
+        ratio = speedup(
+            engine_results["plutus"],
+            engine_results["pssm"],
+            engine_results["nosec"],
+        )
+        assert ratio > 1.0
+
+
+class TestKernelTime:
+    def test_memory_bound_trace_is_memory_bound(self, engine_results):
+        estimate = estimate_kernel_time(engine_results["pssm"], VOLTA)
+        assert estimate.memory_bound
+        assert estimate.seconds == estimate.memory_seconds
+
+    def test_more_traffic_more_time(self, engine_results):
+        pssm = estimate_kernel_time(engine_results["pssm"], VOLTA)
+        nosec = estimate_kernel_time(engine_results["nosec"], VOLTA)
+        assert pssm.memory_seconds > nosec.memory_seconds
+
+    def test_invalid_ipc_rejected(self, engine_results):
+        with pytest.raises(ValueError):
+            estimate_kernel_time(engine_results["pssm"], VOLTA, ipc_per_sm=0)

@@ -1,0 +1,35 @@
+"""Tests for the harness CLI (python -m repro.harness)."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_runs_selected_experiment(self, capsys):
+        rc = main(["eq1", "--length", "500", "--benchmarks", "bfs"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "eq1" in out
+        assert "hits_required" in out
+
+    def test_runs_multiple_experiments(self, capsys):
+        rc = main(["fig10", "eq1", "--length", "500", "--benchmarks", "bfs"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "eq1" in out
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["eq1", "--benchmarks", "doom"])
+
+    def test_benchmark_restriction_applies(self, capsys):
+        rc = main(["fig10", "--length", "400", "--benchmarks", "lbm"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lbm" in out
+        assert "bfs" not in out

@@ -1,0 +1,68 @@
+"""Tests for the text report renderer."""
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.report import (
+    format_bars,
+    format_table,
+    render_all,
+    render_experiment,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table([
+            {"benchmark": "bfs", "ipc": 0.5},
+            {"benchmark": "lbm", "ipc": 0.75},
+        ])
+        lines = table.splitlines()
+        assert lines[0].startswith("benchmark")
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_heterogeneous_rows(self):
+        table = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in table and "b" in table
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_bool_rendering(self):
+        assert "yes" in format_table([{"ok": True}])
+        assert "no" in format_table([{"ok": False}])
+
+    def test_tiny_float_uses_scientific(self):
+        assert "e-" in format_table([{"p": 1e-35}])
+
+
+class TestFormatBars:
+    def test_bars_scale(self):
+        bars = format_bars({"a": 1.0, "b": 2.0})
+        lines = bars.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_empty(self):
+        assert format_bars({}) == "(no data)"
+
+
+class TestRenderExperiment:
+    def make_result(self):
+        return ExperimentResult(
+            experiment_id="figXX",
+            title="A title",
+            rows=[{"benchmark": "bfs", "value": 1.5}],
+            summary={"mean": 1.5},
+            paper_reference={"mean": 1.17},
+            notes="a note",
+        )
+
+    def test_contains_all_sections(self):
+        text = render_experiment(self.make_result())
+        assert "figXX" in text
+        assert "A title" in text
+        assert "summary:" in text
+        assert "paper:" in text
+        assert "notes:" in text
+
+    def test_render_all_concatenates(self):
+        text = render_all({"x": self.make_result(), "y": self.make_result()})
+        assert text.count("A title") == 2

@@ -1,0 +1,123 @@
+"""Integration tests: the full pipeline and paper-shape assertions.
+
+These run the real pipeline (trace -> L2 -> engines -> perf model) on
+small traces and assert the *directional* claims of the paper — who
+wins and why — without pinning calibration magnitudes (the benchmark
+harness records those in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import quick_comparison
+from repro.gpu.config import VOLTA
+from repro.gpu.perf_model import normalized_ipc
+from repro.gpu.simulator import replay_events
+from repro.harness.runner import ExperimentContext
+from repro.mem.traffic import Stream
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        trace_length=4000,
+        benchmarks=["bfs", "lbm", "histo", "pagerank"],
+    )
+
+
+class TestHeadlineClaims:
+    def test_plutus_beats_pssm_everywhere(self, ctx):
+        for bench in ctx.benchmarks:
+            base = ctx.run(bench, "nosec")
+            pssm = normalized_ipc(ctx.run(bench, "pssm"), base)
+            plutus = normalized_ipc(ctx.run(bench, "plutus"), base)
+            assert plutus >= pssm * 0.99, bench
+
+    def test_plutus_cuts_metadata_traffic(self, ctx):
+        for bench in ctx.benchmarks:
+            pssm = ctx.run(bench, "pssm").traffic
+            plutus = ctx.run(bench, "plutus").traffic
+            assert plutus.metadata_reduction_vs(pssm) > 0, bench
+
+    def test_irregular_gains_exceed_streaming_gains(self, ctx):
+        """The paper's motivation: graph kernels hurt most under PSSM
+        and gain most under Plutus."""
+        def gain(bench):
+            base = ctx.run(bench, "nosec")
+            return normalized_ipc(ctx.run(bench, "plutus"), base) / normalized_ipc(
+                ctx.run(bench, "pssm"), base
+            )
+
+        assert gain("bfs") > gain("lbm")
+        assert gain("pagerank") > gain("lbm")
+
+    def test_pssm_overhead_worst_for_irregular(self, ctx):
+        bfs = ctx.run("bfs", "pssm").traffic.metadata_overhead
+        lbm = ctx.run("lbm", "pssm").traffic.metadata_overhead
+        assert bfs > lbm
+
+    def test_mac_traffic_shrinks_most(self, ctx):
+        """Value verification attacks MAC traffic specifically."""
+        pssm = ctx.run("bfs", "pssm").traffic
+        plutus = ctx.run("bfs", "plutus").traffic
+        mac_cut = 1 - plutus.mac_bytes / pssm.mac_bytes
+        assert mac_cut > 0.2
+
+    def test_data_traffic_identical_across_engines(self, ctx):
+        """Engines must never change what the L2 does."""
+        for bench in ctx.benchmarks:
+            byte_counts = {
+                key: ctx.run(bench, key).traffic.data_bytes
+                for key in ("nosec", "pssm", "common-counters", "plutus")
+            }
+            assert len(set(byte_counts.values())) == 1, byte_counts
+
+
+class TestCommonCountersComparison:
+    def test_cc_cuts_counters_not_macs(self, ctx):
+        pssm = ctx.run("bfs", "pssm").traffic
+        cc = ctx.run("bfs", "common-counters").traffic
+        assert cc.counter_bytes < pssm.counter_bytes
+        assert cc.mac_bytes == pssm.mac_bytes
+
+    def test_plutus_beats_cc_on_average(self, ctx):
+        ratios = []
+        for bench in ctx.benchmarks:
+            base = ctx.run(bench, "nosec")
+            ratios.append(
+                normalized_ipc(ctx.run(bench, "plutus"), base)
+                / normalized_ipc(ctx.run(bench, "common-counters"), base)
+            )
+        assert sum(ratios) / len(ratios) > 1.0
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, ctx):
+        log = ctx.event_log("bfs")
+        a = replay_events(log, ctx.factories["plutus"], VOLTA)
+        b = replay_events(log, ctx.factories["plutus"], VOLTA)
+        assert a.traffic.bytes_by_stream == b.traffic.bytes_by_stream
+        assert a.engine_stats == b.engine_stats
+
+
+class TestQuickComparison:
+    def test_one_call_demo(self):
+        text = quick_comparison("bfs", length=1500)
+        assert "bfs" in text
+        assert "PSSM" in text and "Plutus" in text
+
+
+class TestConservation:
+    def test_transactions_match_bytes(self, ctx):
+        """Every stream's bytes must equal 32 B x transactions."""
+        result = ctx.run("bfs", "plutus")
+        for stream in Stream:
+            nbytes = result.traffic.bytes_by_stream[stream]
+            transactions = result.traffic.transactions_by_stream[stream]
+            assert nbytes == 32 * transactions, stream
+
+    def test_fills_equal_data_read_transactions(self, ctx):
+        result = ctx.run("bfs", "plutus")
+        assert (
+            result.traffic.transactions_by_stream[Stream.DATA_READ]
+            == result.engine_stats.fills
+        )

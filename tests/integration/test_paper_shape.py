@@ -1,0 +1,86 @@
+"""Directional paper-shape tests at small scale.
+
+Each test pins one qualitative claim from the paper's evaluation using
+traces small enough for the unit-test suite; the full-magnitude
+versions live in benchmarks/ and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.gpu.perf_model import normalized_ipc
+from repro.harness.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        trace_length=4000, benchmarks=["bfs", "lbm", "histo"]
+    )
+
+
+def ipc(ctx, bench, key):
+    return normalized_ipc(ctx.run(bench, key), ctx.run(bench, "nosec"))
+
+
+class TestFig15Shape:
+    def test_value_only_beats_pssm_on_value_rich_kernels(self, ctx):
+        for bench in ("bfs", "histo"):
+            assert ipc(ctx, bench, "plutus:value-only") > ipc(ctx, bench, "pssm")
+
+    def test_value_verification_shows_in_stats(self, ctx):
+        stats = ctx.run("bfs", "plutus:value-only").engine_stats
+        assert stats.value_verified_fills > 0
+        assert stats.mac_fetches_avoided == stats.value_verified_fills
+
+
+class TestFig16Shape:
+    def test_fine_granularity_wins_on_irregular_writes(self, ctx):
+        assert ipc(ctx, "histo", "gran:32B-all") > ipc(ctx, "histo", "gran:128B")
+
+    def test_designs_2_and_3_differ_in_tree_shape_only(self, ctx):
+        d2 = ctx.run("bfs", "gran:32B-leaf")
+        d3 = ctx.run("bfs", "gran:32B-all")
+        # Same counter fetch granularity: identical counter read traffic.
+        from repro.mem.traffic import Stream
+
+        assert (
+            d2.traffic.bytes_by_stream[Stream.COUNTER_READ]
+            == d3.traffic.bytes_by_stream[Stream.COUNTER_READ]
+        )
+
+
+class TestFig17Shape:
+    def test_adaptive_at_least_matches_3bit(self, ctx):
+        for bench in ("lbm", "histo"):
+            assert (
+                ipc(ctx, bench, "compact:adaptive")
+                >= ipc(ctx, bench, "compact:3bit") - 1e-9
+            )
+
+    def test_2bit_saturation_hurts_write_heavy(self, ctx):
+        """lbm's deep write history saturates 2-bit counters."""
+        assert ipc(ctx, "lbm", "compact:adaptive") >= ipc(ctx, "lbm", "compact:2bit")
+
+
+class TestFig21Shape:
+    def test_gains_saturate_at_256_entries(self, ctx):
+        small = ipc(ctx, "bfs", "plutus:vcache-64")
+        mid = ipc(ctx, "bfs", "plutus:vcache-256")
+        large = ipc(ctx, "bfs", "plutus:vcache-1024")
+        assert mid > small
+        assert (large - mid) < (mid - small)
+
+
+class TestFig20Shape:
+    def test_value_check_is_orthogonal_to_tree_schemes(self, ctx):
+        """With tree traffic gone entirely, Plutus still wins (MGX et
+        al. are orthogonal, as the paper argues)."""
+        assert ipc(ctx, "bfs", "plutus:no-tree") > ipc(ctx, "bfs", "pssm:no-tree")
+
+
+class TestPinnedRegionMechanism:
+    def test_no_pinning_means_no_write_skips(self, ctx):
+        unpinned = ctx.run("histo", "plutus:pinned-0.0").engine_stats
+        pinned = ctx.run("histo", "plutus:pinned-0.25").engine_stats
+        assert unpinned.mac_writes_avoided == 0
+        assert pinned.mac_writes_avoided > 0

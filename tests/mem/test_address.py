@@ -1,0 +1,95 @@
+"""Tests for the address map and partition interleaving."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.mem.address import DEFAULT_ADDRESS_MAP, AddressMap
+
+
+class TestGeometry:
+    def test_default_volta_numbers(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.sectors_per_line == 4
+        assert amap.num_lines == 4 * 1024**3 // 128
+        assert amap.lines_per_partition == amap.num_lines // 32
+        assert amap.partition_bytes == 128 * 1024**2
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AddressMap(num_partitions=3)
+        with pytest.raises(ConfigurationError):
+            AddressMap(line_bytes=96)
+        with pytest.raises(ConfigurationError):
+            AddressMap(sector_bytes=48, line_bytes=128)
+
+
+class TestAddressArithmetic:
+    def test_line_address_rounds_down(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.line_address(0x1234) == 0x1200
+        assert amap.line_address(0x1280) == 0x1280
+
+    def test_sector_in_line(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.sector_in_line(0x1200) == 0
+        assert amap.sector_in_line(0x1220) == 1
+        assert amap.sector_in_line(0x1240) == 2
+        assert amap.sector_in_line(0x127F) == 3
+
+    def test_sector_address(self):
+        assert DEFAULT_ADDRESS_MAP.sector_address(0x1234) == 0x1220
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_ADDRESS_MAP.line_address(4 * 1024**3)
+        with pytest.raises(ValueError):
+            DEFAULT_ADDRESS_MAP.partition_of(-1)
+
+    def test_iter_line_sector_addresses(self):
+        sectors = list(DEFAULT_ADDRESS_MAP.iter_line_sector_addresses(0x1234))
+        assert sectors == [0x1200, 0x1220, 0x1240, 0x1260]
+
+
+class TestInterleaving:
+    def test_partition_in_range(self):
+        amap = DEFAULT_ADDRESS_MAP
+        for line in range(0, 100):
+            assert 0 <= amap.partition_of(line * 128) < 32
+
+    def test_hashed_interleave_is_balanced(self):
+        """Sequential lines should spread evenly over partitions."""
+        amap = DEFAULT_ADDRESS_MAP
+        counts = [0] * 32
+        for line in range(32 * 64):
+            counts[amap.partition_of(line * 128)] += 1
+        assert max(counts) - min(counts) <= 8
+
+    def test_modulo_interleave_without_hash(self):
+        amap = AddressMap(interleave_hash=False)
+        for line in range(100):
+            assert amap.partition_of(line * 128) == line % 32
+
+    def test_same_line_same_partition(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.partition_of(0x1200) == amap.partition_of(0x127F)
+
+
+class TestLocalAddressing:
+    """PSSM partition-local metadata addressing."""
+
+    def test_local_line_index_is_dense(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.local_line_index(0) == 0
+        assert amap.local_line_index(32 * 128) == 1
+        assert amap.local_line_index(64 * 128) == 2
+
+    def test_local_sector_index(self):
+        amap = DEFAULT_ADDRESS_MAP
+        assert amap.local_sector_index(0) == 0
+        assert amap.local_sector_index(32) == 1
+        assert amap.local_sector_index(32 * 128) == 4
+
+    def test_local_index_bounded_by_partition(self):
+        amap = DEFAULT_ADDRESS_MAP
+        top = amap.memory_bytes - 32
+        assert amap.local_sector_index(top) < amap.partition_bytes // 32

@@ -1,0 +1,74 @@
+"""Tests for the sparse backing store."""
+
+import pytest
+
+from repro.mem.backing import BackingStore
+
+
+class TestReadWrite:
+    def test_unwritten_reads_zero(self):
+        store = BackingStore(1024)
+        assert store.read(0, 16) == b"\x00" * 16
+
+    def test_roundtrip(self):
+        store = BackingStore(1024)
+        store.write(10, b"hello")
+        assert store.read(10, 5) == b"hello"
+
+    def test_partial_overlap_read(self):
+        store = BackingStore(1024)
+        store.write(8, b"abcd")
+        assert store.read(6, 8) == b"\x00\x00abcd\x00\x00"
+
+    def test_cross_chunk_write(self):
+        store = BackingStore(64 * 1024, chunk_bytes=64)
+        data = bytes(range(200))
+        store.write(60, data)  # spans several 64-byte chunks
+        assert store.read(60, 200) == data
+
+    def test_overwrite(self):
+        store = BackingStore(1024)
+        store.write(0, b"aaaa")
+        store.write(2, b"bb")
+        assert store.read(0, 4) == b"aabb"
+
+
+class TestBounds:
+    def test_read_past_end_rejected(self):
+        with pytest.raises(ValueError):
+            BackingStore(64).read(60, 8)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            BackingStore(64).read(-1, 4)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            BackingStore(0)
+
+
+class TestAttackerPrimitives:
+    def test_corrupt_is_xor(self):
+        store = BackingStore(1024)
+        store.write(0, b"\xff\x00")
+        store.corrupt(0, b"\x0f\x0f")
+        assert store.read(0, 2) == b"\xf0\x0f"
+
+    def test_corrupt_twice_restores(self):
+        store = BackingStore(1024)
+        store.write(0, b"data")
+        store.corrupt(0, b"\x55" * 4)
+        store.corrupt(0, b"\x55" * 4)
+        assert store.read(0, 4) == b"data"
+
+    def test_splice_copies_between_addresses(self):
+        store = BackingStore(1024)
+        store.write(0, b"victim!!")
+        store.splice(dst=100, src=0, length=8)
+        assert store.read(100, 8) == b"victim!!"
+
+    def test_sparseness(self):
+        store = BackingStore(1 << 30, chunk_bytes=4096)
+        store.write(0, b"x")
+        store.write((1 << 30) - 1, b"y")
+        assert store.touched_bytes == 2 * 4096

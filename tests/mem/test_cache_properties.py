@@ -1,0 +1,82 @@
+"""Property-based tests for the sectored cache (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.cache import CacheConfig, SectoredCache
+
+lines = st.integers(min_value=0, max_value=63).map(lambda i: i * 128)
+masks = st.integers(min_value=1, max_value=15)
+ops = st.lists(
+    st.tuples(lines, masks, st.booleans()), min_size=1, max_size=200
+)
+
+
+def run_ops(cache, operations):
+    for line, mask, write in operations:
+        cache.access(line, mask, write=write)
+
+
+@settings(max_examples=50, deadline=None)
+@given(operations=ops)
+def test_capacity_never_exceeded(operations):
+    cache = SectoredCache(CacheConfig(name="p", size_bytes=1024, ways=2))
+    run_ops(cache, operations)
+    assert len(cache.resident_lines()) <= cache.config.num_lines
+
+
+@settings(max_examples=50, deadline=None)
+@given(operations=ops)
+def test_immediate_reaccess_always_hits(operations):
+    cache = SectoredCache(CacheConfig(name="p", size_bytes=1024, ways=2))
+    for line, mask, write in operations:
+        cache.access(line, mask, write=write)
+        again = cache.access(line, mask, write=False)
+        assert again.is_full_hit
+
+
+@settings(max_examples=50, deadline=None)
+@given(operations=ops)
+def test_hit_plus_miss_equals_request(operations):
+    cache = SectoredCache(CacheConfig(name="p", size_bytes=1024, ways=2))
+    for line, mask, write in operations:
+        result = cache.access(line, mask, write=write)
+        assert result.hit_mask | result.miss_mask == mask
+        assert result.hit_mask & result.miss_mask == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(operations=ops)
+def test_dirty_sectors_are_conserved(operations):
+    """Every sector dirtied is eventually either re-dirtied in place or
+    written back exactly once: flush + evictions account for all."""
+    cache = SectoredCache(CacheConfig(name="p", size_bytes=512, ways=2))
+    dirtied = set()
+    written_back = set()
+    for line, mask, write in operations:
+        result = cache.access(line, mask, write=write)
+        for ev in result.evictions:
+            for s in range(4):
+                if (ev.dirty_mask >> s) & 1:
+                    written_back.add((ev.line_addr, s))
+        if write:
+            for s in range(4):
+                if (mask >> s) & 1:
+                    dirtied.add((line, s))
+    for ev in cache.flush():
+        for s in range(4):
+            if (ev.dirty_mask >> s) & 1:
+                written_back.add((ev.line_addr, s))
+    assert dirtied == written_back
+
+
+@settings(max_examples=50, deadline=None)
+@given(operations=ops)
+def test_stats_balance(operations):
+    cache = SectoredCache(CacheConfig(name="p", size_bytes=1024, ways=2))
+    total_sectors = 0
+    for line, mask, write in operations:
+        total_sectors += bin(mask).count("1")
+        cache.access(line, mask, write=write)
+    assert cache.stats.sector_hits + cache.stats.sector_misses == total_sectors
+    assert cache.stats.accesses == len(operations)

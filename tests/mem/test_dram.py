@@ -1,0 +1,51 @@
+"""Tests for the DRAM bandwidth model."""
+
+import pytest
+
+from repro.common.units import Bandwidth
+from repro.mem.dram import DEFAULT_DRAM, DramConfig
+
+
+class TestDefaults:
+    def test_volta_numbers(self):
+        assert DEFAULT_DRAM.peak_bandwidth.gb_per_s == pytest.approx(868.0)
+        assert DEFAULT_DRAM.num_partitions == 32
+        assert DEFAULT_DRAM.transaction_bytes == 32
+
+    def test_effective_bandwidth_derated(self):
+        assert DEFAULT_DRAM.effective_bandwidth.bytes_per_second == pytest.approx(
+            868e9 * 0.75
+        )
+
+    def test_per_partition_split(self):
+        per = DEFAULT_DRAM.per_partition_bandwidth.bytes_per_second
+        assert per * 32 == pytest.approx(
+            DEFAULT_DRAM.effective_bandwidth.bytes_per_second
+        )
+
+
+class TestValidation:
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            DramConfig(efficiency=0.0)
+        with pytest.raises(ValueError):
+            DramConfig(efficiency=1.5)
+
+    def test_partition_count_positive(self):
+        with pytest.raises(ValueError):
+            DramConfig(num_partitions=0)
+
+
+class TestArithmetic:
+    def test_transfer_time_scales_linearly(self):
+        config = DramConfig(
+            peak_bandwidth=Bandwidth.from_gb_per_s(100), efficiency=1.0
+        )
+        assert config.transfer_time(100e9) == pytest.approx(1.0)
+        assert config.transfer_time(50e9) == pytest.approx(0.5)
+
+    def test_transactions_round_up(self):
+        assert DEFAULT_DRAM.transactions_for(0) == 0
+        assert DEFAULT_DRAM.transactions_for(32) == 1
+        assert DEFAULT_DRAM.transactions_for(33) == 2
+        assert DEFAULT_DRAM.transactions_for(128) == 4

@@ -1,0 +1,89 @@
+"""Tests for DRAM traffic accounting."""
+
+import pytest
+
+from repro.mem.traffic import (
+    METADATA_STREAMS,
+    Stream,
+    TrafficCounter,
+    TrafficReport,
+)
+
+
+class TestCounter:
+    def test_record_accumulates(self):
+        counter = TrafficCounter()
+        counter.record(Stream.DATA_READ, 32)
+        counter.record(Stream.DATA_READ, 64, transactions=2)
+        assert counter.bytes_for(Stream.DATA_READ) == 96
+        assert counter.transactions_for(Stream.DATA_READ) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficCounter().record(Stream.MAC_READ, -1)
+
+    def test_merge(self):
+        a, b = TrafficCounter(), TrafficCounter()
+        a.record(Stream.MAC_READ, 32)
+        b.record(Stream.MAC_READ, 64)
+        b.record(Stream.BMT_WRITE, 128)
+        a.merge(b)
+        assert a.bytes_for(Stream.MAC_READ) == 96
+        assert a.bytes_for(Stream.BMT_WRITE) == 128
+
+
+class TestReportViews:
+    def make_report(self):
+        counter = TrafficCounter()
+        counter.record(Stream.DATA_READ, 1000)
+        counter.record(Stream.DATA_WRITE, 500)
+        counter.record(Stream.COUNTER_READ, 300)
+        counter.record(Stream.MAC_READ, 200)
+        counter.record(Stream.BMT_READ, 100)
+        counter.record(Stream.COMPACT_COUNTER_READ, 50)
+        counter.record(Stream.COMPACT_BMT_READ, 25)
+        return counter.report()
+
+    def test_totals(self):
+        report = self.make_report()
+        assert report.total_bytes == 2175
+        assert report.data_bytes == 1500
+        assert report.metadata_bytes == 675
+
+    def test_counter_bytes_include_compact_layer(self):
+        assert self.make_report().counter_bytes == 350
+
+    def test_tree_bytes_include_mini_tree(self):
+        assert self.make_report().tree_bytes == 125
+
+    def test_metadata_overhead(self):
+        assert self.make_report().metadata_overhead == pytest.approx(675 / 1500)
+
+    def test_breakdown_covers_everything(self):
+        report = self.make_report()
+        assert sum(report.breakdown().values()) == report.total_bytes
+
+    def test_metadata_stream_partition(self):
+        """Every stream is data or metadata, never both."""
+        data_streams = {Stream.DATA_READ, Stream.DATA_WRITE}
+        assert data_streams | METADATA_STREAMS == set(Stream)
+        assert not data_streams & METADATA_STREAMS
+
+
+class TestReduction:
+    def test_reduction_vs_baseline(self):
+        base = TrafficCounter()
+        base.record(Stream.MAC_READ, 1000)
+        improved = TrafficCounter()
+        improved.record(Stream.MAC_READ, 400)
+        reduction = improved.report().metadata_reduction_vs(base.report())
+        assert reduction == pytest.approx(0.6)
+
+    def test_reduction_against_empty_baseline(self):
+        empty = TrafficReport(bytes_by_stream={})
+        assert empty.metadata_reduction_vs(empty) == 0.0
+
+    def test_overhead_of_pure_data(self):
+        counter = TrafficCounter()
+        counter.record(Stream.DATA_READ, 10)
+        assert counter.report().metadata_overhead == 0.0

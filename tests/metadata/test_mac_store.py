@@ -1,0 +1,61 @@
+"""Tests for the functional MAC store."""
+
+from repro.crypto.mac import HmacSha256Mac
+from repro.metadata.mac_store import MacStore
+
+
+def make_store():
+    return MacStore(HmacSha256Mac(b"\x01" * 16, tag_bytes=8))
+
+
+class TestBasics:
+    def test_update_then_verify(self):
+        store = make_store()
+        store.update(3, b"sector", address=0x60, counter=1)
+        assert store.verify(3, b"sector", address=0x60, counter=1)
+
+    def test_unwritten_sector_has_zero_tag(self):
+        store = make_store()
+        assert store.stored_tag(99) == b"\x00" * 8
+
+    def test_wrong_data_fails(self):
+        store = make_store()
+        store.update(3, b"sector", address=0x60, counter=1)
+        assert not store.verify(3, b"tamper", address=0x60, counter=1)
+
+    def test_wrong_counter_fails(self):
+        store = make_store()
+        store.update(3, b"sector", address=0x60, counter=1)
+        assert not store.verify(3, b"sector", address=0x60, counter=2)
+
+    def test_stored_count(self):
+        store = make_store()
+        store.update(1, b"a", 0, 0)
+        store.update(2, b"b", 32, 0)
+        store.update(1, b"c", 0, 1)
+        assert store.stored_count == 2
+
+
+class TestAttackerPrimitives:
+    def test_corrupt_breaks_verification(self):
+        store = make_store()
+        store.update(3, b"sector", address=0x60, counter=1)
+        store.corrupt(3, b"\xde\xad\xbe\xef" * 2)
+        assert not store.verify(3, b"sector", address=0x60, counter=1)
+
+    def test_corrupt_rejects_wrong_length(self):
+        store = make_store()
+        try:
+            store.corrupt(3, b"\x00")
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("length check missing")
+
+    def test_splice_moves_tag_but_fails_verify(self):
+        """A spliced tag fails because the MAC binds the address."""
+        store = make_store()
+        store.update(1, b"payload", address=0x20, counter=0)
+        store.splice(dst_sector=2, src_sector=1)
+        assert store.stored_tag(2) == store.stored_tag(1)
+        assert not store.verify(2, b"payload", address=0x40, counter=0)

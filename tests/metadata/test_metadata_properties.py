@@ -1,0 +1,133 @@
+"""Property-based tests over the metadata structures (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ReplayError
+from repro.metadata.bmt import BmtGeometry
+from repro.metadata.compact import (
+    DESIGN_2BIT,
+    DESIGN_3BIT,
+    DESIGN_3BIT_ADAPTIVE,
+    CompactCounterState,
+    CounterRoute,
+)
+from repro.metadata.merkle import MerkleTree
+from repro.metadata.split_counter import SplitCounterConfig, SplitCounterStore
+
+sectors = st.integers(min_value=0, max_value=255)
+write_sequences = st.lists(sectors, min_size=1, max_size=150)
+
+
+@settings(max_examples=50, deadline=None)
+@given(writes=write_sequences)
+def test_split_counter_tweaks_never_repeat(writes):
+    """The encryption tweak (combined counter) of a sector must be
+    fresh for every write — the fundamental CME/XTS safety invariant."""
+    store = SplitCounterStore(SplitCounterConfig(minor_bits=3,
+                                                 sectors_per_group=8))
+    seen = {s: {store.combined(s)} for s in set(writes)}
+    for s in writes:
+        store.increment(s)
+        for tracked in seen:
+            combined = store.combined(tracked)
+            if tracked == s:
+                assert combined not in seen[tracked]
+            seen[tracked].add(combined)
+
+
+@settings(max_examples=50, deadline=None)
+@given(writes=write_sequences,
+       design=st.sampled_from([DESIGN_2BIT, DESIGN_3BIT, DESIGN_3BIT_ADAPTIVE]))
+def test_compact_counter_tracks_true_write_count(writes, design):
+    state = CompactCounterState(design)
+    expected = {}
+    for s in writes:
+        state.plan_write(s)
+        expected[s] = expected.get(s, 0) + 1
+    for s, count in expected.items():
+        assert state.encryption_counter(s) == count
+
+
+@settings(max_examples=50, deadline=None)
+@given(writes=write_sequences)
+def test_compact_routes_are_consistent_with_saturation(writes):
+    """A read route must consult the originals iff the sector is
+    saturated or its block disabled."""
+    state = CompactCounterState(DESIGN_3BIT_ADAPTIVE)
+    for s in writes:
+        state.plan_write(s)
+    for s in set(writes) | {0, 97}:
+        route = state.plan_read(s).route
+        if state.is_block_disabled(s):
+            assert route is CounterRoute.ORIGINAL_ONLY
+        elif state.write_count(s) >= DESIGN_3BIT_ADAPTIVE.saturation_value:
+            assert route is CounterRoute.COMPACT_THEN_ORIGINAL
+        else:
+            assert route is CounterRoute.COMPACT_ONLY
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    leaves=st.integers(min_value=1, max_value=4096),
+    arity=st.sampled_from([2, 4, 8, 16]),
+)
+def test_bmt_geometry_invariants(leaves, arity):
+    geometry = BmtGeometry(num_leaves=leaves, arity=arity, node_bytes=128)
+    sizes = geometry.level_sizes
+    # Root is single; each level shrinks by about the arity.
+    assert sizes[-1] == 1
+    previous = leaves
+    for size in sizes:
+        assert size == (previous + arity - 1) // arity or previous == 1
+        previous = size
+    # Every leaf's root-level ancestor is node 0.
+    for leaf in {0, leaves - 1, leaves // 2}:
+        assert geometry.node_index(leaf, geometry.root_level) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    leaves=st.integers(min_value=2, max_value=512),
+    arity=st.sampled_from([4, 8, 16]),
+)
+def test_bmt_locate_inverts_addressing(leaves, arity):
+    # Node must hold `arity` 8-byte hashes.
+    geometry = BmtGeometry(num_leaves=leaves, arity=arity, node_bytes=8 * arity)
+    for level in range(1, geometry.root_level + 1):
+        addr = geometry.node_address(leaves - 1, level)
+        found_level, found_node = geometry.locate(addr)
+        assert found_level == level
+        assert found_node == geometry.node_index(leaves - 1, level)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=31),
+                  st.binary(min_size=1, max_size=16)),
+        min_size=1, max_size=40,
+    )
+)
+def test_merkle_tree_reflects_latest_writes_only(updates):
+    tree = MerkleTree(32, arity=4)
+    latest = {}
+    for index, data in updates:
+        tree.update_leaf(index, data)
+        latest[index] = data
+    for index, data in latest.items():
+        tree.verify_leaf(index, data)  # current data verifies
+    # Any stale value (if one existed for the leaf) must fail.
+    history = {}
+    tree2 = MerkleTree(32, arity=4)
+    for index, data in updates:
+        if index in history and history[index] != data:
+            tree2.update_leaf(index, data)
+            try:
+                tree2.verify_leaf(index, history[index])
+                raise AssertionError("stale leaf accepted")
+            except ReplayError:
+                pass
+        else:
+            tree2.update_leaf(index, data)
+        history[index] = data

@@ -1,0 +1,58 @@
+"""Tests for SGX-style monolithic counters."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, CounterOverflowError
+from repro.metadata.monolithic import (
+    MonolithicCounterConfig,
+    MonolithicCounterStore,
+)
+
+
+class TestConfig:
+    def test_sgx_defaults(self):
+        config = MonolithicCounterConfig()
+        assert config.counter_bits == 56
+        assert config.counters_per_block == 8
+        assert config.block_bytes == 56  # 8 x 56 bits
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MonolithicCounterConfig(counter_bits=0)
+
+
+class TestStore:
+    def test_starts_at_zero(self):
+        store = MonolithicCounterStore()
+        assert store.value(7) == 0
+        assert store.combined(7) == 0
+
+    def test_increment(self):
+        store = MonolithicCounterStore()
+        assert store.increment(7) == 1
+        assert store.increment(7) == 2
+        assert store.value(8) == 0
+
+    def test_overflow_raises(self):
+        store = MonolithicCounterStore(MonolithicCounterConfig(counter_bits=2))
+        for _ in range(3):
+            store.increment(0)
+        with pytest.raises(CounterOverflowError):
+            store.increment(0)
+
+    def test_block_mapping(self):
+        store = MonolithicCounterStore()
+        assert store.block_of(0) == 0
+        assert store.block_of(7) == 0
+        assert store.block_of(8) == 1
+
+    def test_storage_overhead_exceeds_split(self):
+        """The motivation for split counters: monolithic storage is an
+        order of magnitude larger per protected sector."""
+        mono = MonolithicCounterStore()
+        # Split: 1 byte/sector (32 B per 32 sectors). Monolithic: 7 B.
+        assert mono.storage_bytes_for(32) > 32
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            MonolithicCounterStore().value(-1)

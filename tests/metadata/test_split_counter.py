@@ -1,0 +1,114 @@
+"""Tests for the split-counter organization."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, CounterOverflowError
+from repro.metadata.split_counter import SplitCounterConfig, SplitCounterStore
+
+
+class TestConfig:
+    def test_default_geometry(self):
+        config = SplitCounterConfig()
+        assert config.minor_limit == 64
+        # 8 B major + 32 x 6-bit minors = 32 B: one counter sector.
+        assert config.group_bytes == 32
+
+    def test_minors_must_pack_to_bytes(self):
+        with pytest.raises(ConfigurationError):
+            SplitCounterConfig(minor_bits=5, sectors_per_group=3)
+
+    def test_invalid_widths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SplitCounterConfig(minor_bits=0)
+        with pytest.raises(ConfigurationError):
+            SplitCounterConfig(sectors_per_group=0)
+
+
+class TestCountersStartAtZero:
+    def test_untouched_sector_is_zero(self):
+        store = SplitCounterStore()
+        assert store.value(123) == (0, 0)
+        assert store.combined(123) == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            SplitCounterStore().value(-1)
+
+
+class TestIncrement:
+    def test_simple_increment(self):
+        store = SplitCounterStore()
+        outcome = store.increment(5)
+        assert (outcome.major, outcome.minor) == (0, 1)
+        assert not outcome.minor_overflowed
+        assert store.combined(5) == 1
+
+    def test_combined_encodes_major_and_minor(self):
+        store = SplitCounterStore(SplitCounterConfig(minor_bits=6))
+        for _ in range(3):
+            store.increment(0)
+        assert store.combined(0) == 3
+
+    def test_independent_sectors(self):
+        store = SplitCounterStore()
+        store.increment(0)
+        assert store.combined(1) == 0
+
+
+class TestMinorOverflow:
+    def test_overflow_bumps_major_and_resets_group(self):
+        config = SplitCounterConfig(minor_bits=2, sectors_per_group=4)
+        store = SplitCounterStore(config)
+        store.increment(1)  # neighbour with some count
+        outcome = None
+        for _ in range(4):  # minor_limit = 4 -> 4th increment overflows
+            outcome = store.increment(0)
+        assert outcome.minor_overflowed
+        assert outcome.major == 1
+        assert outcome.reencrypted_sectors == (0, 1, 2, 3)
+        # Neighbour minor was reset; shares the new major.
+        assert store.value(1) == (1, 0)
+        # The written sector advances to minor 1 under the new major.
+        assert store.value(0) == (1, 1)
+
+    def test_overflow_event_counted(self):
+        config = SplitCounterConfig(minor_bits=2, sectors_per_group=4)
+        store = SplitCounterStore(config)
+        for _ in range(4):
+            store.increment(0)
+        assert store.overflow_events == 1
+
+    def test_combined_is_monotone_through_overflow(self):
+        """The tweak-visible counter must never repeat for a sector."""
+        config = SplitCounterConfig(minor_bits=2, sectors_per_group=4)
+        store = SplitCounterStore(config)
+        seen = {store.combined(0)}
+        for _ in range(10):
+            store.increment(0)
+            combined = store.combined(0)
+            assert combined not in seen
+            seen.add(combined)
+
+    def test_major_exhaustion_raises(self):
+        config = SplitCounterConfig(minor_bits=2, major_bits=1, sectors_per_group=4)
+        store = SplitCounterStore(config)
+        for _ in range(4):
+            store.increment(0)  # major -> 1 (its ceiling)
+        with pytest.raises(CounterOverflowError):
+            for _ in range(4):
+                store.increment(0)
+
+
+class TestBookkeeping:
+    def test_touched_sectors(self):
+        store = SplitCounterStore()
+        store.increment(3)
+        store.increment(9)
+        store.increment(3)
+        assert store.touched_sectors() == 2
+
+    def test_group_of(self):
+        store = SplitCounterStore(SplitCounterConfig(sectors_per_group=32))
+        assert store.group_of(0) == 0
+        assert store.group_of(31) == 0
+        assert store.group_of(32) == 1

@@ -1,0 +1,87 @@
+"""Tests for the Tree of Counters (parallelizable integrity tree)."""
+
+import pytest
+
+from repro.common.errors import ReplayError
+from repro.metadata.toc import TreeOfCounters
+
+
+class TestConstruction:
+    def test_initial_state_verifies(self):
+        tree = TreeOfCounters(64, arity=8)
+        tree.verify_leaf(0, 0)
+        tree.verify_leaf(63, 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TreeOfCounters(0)
+        with pytest.raises(ValueError):
+            TreeOfCounters(8, arity=1)
+
+
+class TestVersions:
+    def test_update_bumps_leaf_version(self):
+        tree = TreeOfCounters(64, arity=8)
+        tree.update_leaf(5)
+        tree.verify_leaf(5, 1)
+
+    def test_update_bumps_every_ancestor(self):
+        tree = TreeOfCounters(64, arity=8)
+        root_before = tree.root_version
+        tree.update_leaf(5)
+        assert tree.root_version == root_before + 1
+
+    def test_stale_version_rejected(self):
+        tree = TreeOfCounters(64, arity=8)
+        tree.update_leaf(5)
+        tree.update_leaf(5)
+        with pytest.raises(ReplayError):
+            tree.verify_leaf(5, 1)  # current is 2
+
+    def test_independent_leaves(self):
+        tree = TreeOfCounters(64, arity=8)
+        tree.update_leaf(0)
+        tree.verify_leaf(1, 0)
+
+
+class TestTampering:
+    def test_corrupted_leaf_version_detected(self):
+        tree = TreeOfCounters(64, arity=8)
+        tree.update_leaf(9)
+        tree.corrupt_version(0, 9, 5)  # attacker writes version 5
+        with pytest.raises(ReplayError):
+            tree.verify_leaf(9, 5)  # MAC chain fails
+
+    def test_corrupted_intermediate_version_detected(self):
+        tree = TreeOfCounters(64, arity=8)
+        tree.update_leaf(9)
+        tree.corrupt_version(1, 1, 42)
+        with pytest.raises(ReplayError):
+            tree.verify_leaf(9, 1)
+
+    def test_rollback_of_leaf_and_parent_detected(self):
+        """Even a consistent-looking rollback fails: the grandparent MAC
+        binds the parent version."""
+        tree = TreeOfCounters(64, arity=8)
+        tree.update_leaf(9)
+        tree.update_leaf(9)
+        tree.corrupt_version(0, 9, 1)
+        tree.corrupt_version(1, 1, 1)
+        with pytest.raises(ReplayError):
+            tree.verify_leaf(9, 1)
+
+
+class TestParallelizability:
+    def test_many_updates_consistent(self):
+        """Unlike a hash tree, version updates have no ordering hazard;
+        after any interleaving every leaf verifies."""
+        tree = TreeOfCounters(32, arity=4)
+        sequence = [3, 17, 3, 8, 31, 3, 17, 0]
+        for leaf in sequence:
+            tree.update_leaf(leaf)
+        tree.verify_leaf(3, 3)
+        tree.verify_leaf(17, 2)
+        tree.verify_leaf(8, 1)
+        tree.verify_leaf(31, 1)
+        tree.verify_leaf(0, 1)
+        assert tree.root_version == len(sequence)

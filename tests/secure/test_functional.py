@@ -1,0 +1,198 @@
+"""End-to-end tests of the functional secure memory (real crypto)."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    IntegrityError,
+    ReplayError,
+)
+from repro.secure.functional import SECTOR_BYTES, SecureMemory
+from repro.secure.value_cache import ValueCacheConfig
+
+
+@pytest.fixture(params=["plutus", "pssm"])
+def memory(request):
+    return SecureMemory(256 * 1024, mode=request.param)
+
+
+class TestHonestOperation:
+    def test_roundtrip(self, memory):
+        data = bytes(range(32))
+        memory.write(0x100, data)
+        assert memory.read(0x100, 32) == data
+
+    def test_multi_sector_roundtrip(self, memory):
+        data = bytes(i % 256 for i in range(128))
+        memory.write(0x0, data)
+        assert memory.read(0x0, 128) == data
+
+    def test_overwrite(self, memory):
+        memory.write(0x40, b"A" * 32)
+        memory.write(0x40, b"B" * 32)
+        assert memory.read(0x40, 32) == b"B" * 32
+
+    def test_unwritten_reads_zero(self, memory):
+        assert memory.read(0x2000, 32) == b"\x00" * 32
+
+    def test_neighbouring_sectors_independent(self, memory):
+        memory.write(0x0, b"A" * 32)
+        memory.write(0x20, b"B" * 32)
+        assert memory.read(0x0, 32) == b"A" * 32
+        assert memory.read(0x20, 32) == b"B" * 32
+
+    def test_ciphertext_actually_differs_from_plaintext(self, memory):
+        data = b"plaintext should not be visible!"
+        memory.write(0x80, data)
+        assert memory.dram.read(0x80, 32) != data
+
+    def test_same_data_different_addresses_different_ciphertext(self, memory):
+        memory.write(0x0, b"\xaa" * 32)
+        memory.write(0x20, b"\xaa" * 32)
+        assert memory.dram.read(0x0, 32) != memory.dram.read(0x20, 32)
+
+    def test_same_data_rewritten_changes_ciphertext(self, memory):
+        """Temporal uniqueness via counters."""
+        memory.write(0x0, b"\xaa" * 32)
+        first = memory.dram.read(0x0, 32)
+        memory.write(0x0, b"\xbb" * 32)
+        memory.write(0x0, b"\xaa" * 32)
+        assert memory.dram.read(0x0, 32) != first
+
+
+class TestValidation:
+    def test_unaligned_address_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.write(0x11, b"\x00" * 32)
+
+    def test_ragged_length_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.write(0x0, b"\x00" * 33)
+        with pytest.raises(ValueError):
+            memory.read(0x0, 31)
+
+    def test_out_of_range_rejected(self, memory):
+        with pytest.raises(ValueError):
+            memory.read(memory.size_bytes, 32)
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SecureMemory(1024, mode="enclave")
+
+    def test_unaligned_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SecureMemory(1000)
+
+
+class TestSpoofing:
+    def test_ciphertext_overwrite_detected(self, memory):
+        memory.write(0x0, b"honest data here is 32 bytes ok!")
+        memory.dram.write(0x0, b"\x13" * 32)
+        with pytest.raises(IntegrityError):
+            memory.read(0x0, 32)
+
+    def test_single_bit_flip_detected(self, memory):
+        memory.write(0x0, b"honest data here is 32 bytes ok!")
+        memory.tamper_data(0x0, b"\x01" + b"\x00" * 31)
+        with pytest.raises(IntegrityError):
+            memory.read(0x0, 32)
+
+    def test_tamper_in_second_cipher_block_detected(self, memory):
+        memory.write(0x0, b"honest data here is 32 bytes ok!")
+        memory.tamper_data(0x0, b"\x00" * 16 + b"\x80" + b"\x00" * 15)
+        with pytest.raises(IntegrityError):
+            memory.read(0x0, 32)
+
+
+class TestSplicing:
+    def test_ciphertext_move_detected(self, memory):
+        memory.write(0x0, b"S" * 32)
+        memory.write(0x20, b"T" * 32)
+        memory.dram.splice(dst=0x20, src=0x0, length=32)
+        with pytest.raises(IntegrityError):
+            memory.read(0x20, 32)
+
+    def test_ciphertext_and_mac_move_detected(self, memory):
+        """Even moving the matching tag fails: MACs bind the address."""
+        memory.write(0x0, b"S" * 32)
+        memory.write(0x20, b"T" * 32)
+        memory.dram.splice(dst=0x20, src=0x0, length=32)
+        memory.mac_store.splice(dst_sector=1, src_sector=0)
+        with pytest.raises(IntegrityError):
+            memory.read(0x20, 32)
+
+
+class TestReplay:
+    def test_full_snapshot_replay_detected(self, memory):
+        memory.write(0x0, b"V1" * 16)
+        snapshot = memory.snapshot_sector(0x0)
+        memory.write(0x0, b"V2" * 16)
+        memory.replay_sector(0x0, *snapshot)
+        with pytest.raises(ReplayError):
+            memory.read(0x0, 32)
+
+    def test_data_only_replay_detected(self, memory):
+        """Replaying ciphertext without the counter blob decrypts to
+        garbage under the advanced counter."""
+        memory.write(0x0, b"V1" * 16)
+        old_ct = memory.dram.read(0x0, 32)
+        memory.write(0x0, b"V2" * 16)
+        memory.dram.write(0x0, old_ct)
+        with pytest.raises(IntegrityError):
+            memory.read(0x0, 32)
+
+
+class TestPlutusValueFlow:
+    def test_hot_values_skip_mac(self):
+        memory = SecureMemory(
+            64 * 1024,
+            mode="plutus",
+            value_cache_config=ValueCacheConfig(pin_threshold=2),
+        )
+        hot = b"\x11\x22\x33\x44" * 8
+        for i in range(10):
+            memory.write(i * 32, hot)
+            memory.read(i * 32, 32)
+        memory.read(0, 32)
+        assert memory.last_flow.value_verified
+        assert memory.last_flow.mac_avoided
+        assert memory.mac_checks_avoided > 0
+
+    def test_cold_values_fall_back_to_mac(self):
+        memory = SecureMemory(64 * 1024, mode="plutus")
+        unique = bytes(range(32))
+        memory.write(0, unique)
+        # Flood the value cache with distinct (post-masking) values so
+        # the first write's values are long evicted.
+        for i in range(1, 300):
+            filler = ((i * 0x9E3779B1) & 0xFFFFFFF0).to_bytes(4, "little")
+            memory.write(32 * i, filler * 8)
+        memory.read(0, 32)
+        assert memory.last_flow.mac_verified
+
+    def test_pssm_mode_always_uses_mac(self):
+        memory = SecureMemory(64 * 1024, mode="pssm")
+        memory.write(0, b"\x11" * 32)
+        memory.read(0, 32)
+        assert memory.last_flow.mac_verified
+        assert memory.mac_checks_avoided == 0
+
+
+class TestCounterOverflowReencryption:
+    def test_group_survives_minor_overflow(self):
+        from repro.metadata.split_counter import SplitCounterConfig
+
+        memory = SecureMemory(
+            4 * 1024,
+            mode="plutus",
+            counter_config=SplitCounterConfig(minor_bits=2, sectors_per_group=4),
+        )
+        # Populate the whole group, then hammer one sector through the
+        # minor overflow; neighbours must stay readable.
+        for sector in range(4):
+            memory.write(sector * SECTOR_BYTES, bytes([sector]) * 32)
+        for _ in range(10):
+            memory.write(0, b"\x7f" * 32)
+        for sector in range(1, 4):
+            assert memory.read(sector * SECTOR_BYTES, 32) == bytes([sector]) * 32
+        assert memory.read(0, 32) == b"\x7f" * 32

@@ -1,0 +1,55 @@
+"""Tests for trace characterization (Fig. 10 inputs)."""
+
+import pytest
+
+from repro.workloads.stats import characterize, rw_breakdown
+from repro.workloads.trace import Trace, TraceAccess
+
+
+def make_trace():
+    return Trace(
+        name="t",
+        accesses=[
+            TraceAccess(0x0, 0b1111, False),
+            TraceAccess(0x80, 0b0011, True),
+            TraceAccess(0x100, 0b0001, False),
+        ],
+        memory_intensity=0.6,
+    )
+
+
+class TestCharacterize:
+    def test_counts(self):
+        stats = characterize(make_trace())
+        assert stats.accesses == 3
+        assert stats.read_accesses == 2
+        assert stats.write_accesses == 1
+        assert stats.read_sectors == 5
+        assert stats.write_sectors == 2
+
+    def test_fractions(self):
+        stats = characterize(make_trace())
+        assert stats.read_fraction == pytest.approx(2 / 3)
+        assert stats.write_fraction == pytest.approx(1 / 3)
+        assert stats.read_sector_fraction == pytest.approx(5 / 7)
+
+    def test_footprint(self):
+        stats = characterize(make_trace())
+        assert stats.touched_lines == 3
+        assert stats.footprint_bytes == 3 * 128
+
+    def test_avg_sectors(self):
+        assert characterize(make_trace()).avg_sectors_per_access == pytest.approx(7 / 3)
+
+    def test_intensity_copied(self):
+        assert characterize(make_trace()).memory_intensity == 0.6
+
+
+class TestRwBreakdown:
+    def test_breakdown_shape(self):
+        out = rw_breakdown({"t": make_trace()})
+        assert out["t"]["read"] + out["t"]["write"] == pytest.approx(1.0)
+
+    def test_multiple_traces(self):
+        out = rw_breakdown({"a": make_trace(), "b": make_trace()})
+        assert set(out) == {"a", "b"}

@@ -1,0 +1,78 @@
+"""Tests for trace records."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.workloads.trace import Trace, TraceAccess
+
+
+class TestTraceAccess:
+    def test_basic_construction(self):
+        access = TraceAccess(0x100, 0b0101, False)
+        assert list(access.sectors()) == [0, 2]
+        assert access.sector_count == 2
+
+    def test_alignment_enforced(self):
+        with pytest.raises(TraceError):
+            TraceAccess(0x101, 0b0001, False)
+
+    def test_mask_range_enforced(self):
+        with pytest.raises(TraceError):
+            TraceAccess(0x100, 0, False)
+        with pytest.raises(TraceError):
+            TraceAccess(0x100, 16, False)
+
+    def test_values_must_match_mask(self):
+        with pytest.raises(TraceError):
+            TraceAccess(0x100, 0b0001, False, [(1, b"\x00" * 32)])
+
+    def test_values_must_be_sector_sized(self):
+        with pytest.raises(TraceError):
+            TraceAccess(0x100, 0b0001, False, [(0, b"\x00" * 16)])
+
+    def test_value_lookup(self):
+        image = bytes(range(32))
+        access = TraceAccess(0x100, 0b0011, True, [(0, image)])
+        assert access.value_for(0) == image
+        assert access.value_for(1) is None
+
+    def test_value_lookup_without_values(self):
+        assert TraceAccess(0x100, 0b0001, False).value_for(0) is None
+
+    def test_repr_is_informative(self):
+        assert "W" in repr(TraceAccess(0x100, 0b0001, True))
+        assert "R" in repr(TraceAccess(0x100, 0b0001, False))
+
+
+class TestTrace:
+    def make(self):
+        return Trace(
+            name="t",
+            accesses=[
+                TraceAccess(0x0, 0b1111, False),
+                TraceAccess(0x80, 0b0001, True),
+                TraceAccess(0x0, 0b0001, False),
+            ],
+            memory_intensity=0.7,
+        )
+
+    def test_read_write_counts(self):
+        trace = self.make()
+        assert trace.read_accesses == 2
+        assert trace.write_accesses == 1
+        assert trace.read_fraction == pytest.approx(2 / 3)
+
+    def test_footprint(self):
+        trace = self.make()
+        assert trace.touched_lines == 2
+        assert trace.footprint_bytes == 256
+
+    def test_default_instruction_estimate(self):
+        assert self.make().instructions == 60
+
+    def test_intensity_bounds(self):
+        with pytest.raises(TraceError):
+            Trace(name="x", accesses=[], memory_intensity=1.5)
+
+    def test_iteration(self):
+        assert len(list(self.make())) == 3

@@ -1,0 +1,118 @@
+"""Tests for trace import/export."""
+
+import io
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.workloads.benchmarks import build_trace
+from repro.workloads.trace import Trace, TraceAccess
+from repro.workloads.traceio import (
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    merge_traces,
+)
+
+
+class TestRoundtrip:
+    def test_full_roundtrip_preserves_everything(self):
+        original = build_trace("bfs", length=80, seed=4)
+        recovered = loads_trace(dumps_trace(original))
+        assert recovered.name == original.name
+        assert recovered.memory_intensity == original.memory_intensity
+        assert recovered.instructions == original.instructions
+        assert recovered.counter_warmup_passes == original.counter_warmup_passes
+        assert len(recovered) == len(original)
+        for a, b in zip(original, recovered):
+            assert (a.line_addr, a.sector_mask, a.write) == (
+                b.line_addr, b.sector_mask, b.write
+            )
+            assert a.values == b.values
+
+    def test_roundtrip_without_values(self):
+        original = build_trace("lbm", length=40, with_values=False)
+        recovered = loads_trace(dumps_trace(original))
+        assert all(a.values is None for a in recovered)
+
+    def test_stream_interface(self):
+        original = build_trace("histo", length=20)
+        buffer = io.StringIO()
+        dump_trace(original, buffer)
+        buffer.seek(0)
+        assert len(load_trace(buffer)) == 20
+
+
+class TestParsing:
+    def test_minimal_line(self):
+        trace = loads_trace("R 0x0 0b0001\n")
+        assert trace.accesses[0].line_addr == 0
+        assert not trace.accesses[0].write
+
+    def test_hex_image_parsed(self):
+        image = bytes(range(32)).hex()
+        trace = loads_trace(f"W 0x80 0b0010 {image}\n")
+        assert trace.accesses[0].value_for(1) == bytes(range(32))
+
+    def test_dash_skips_image(self):
+        trace = loads_trace("R 0x0 0b0011 - -\n")
+        assert trace.accesses[0].values is None
+
+    def test_comments_and_blanks_ignored(self):
+        trace = loads_trace("# hello\n\nR 0x0 0b0001\n")
+        assert len(trace) == 1
+
+    def test_header_sets_profile_facts(self):
+        text = (
+            "#repro-trace name=mykernel intensity=0.55 "
+            "instructions=4242 warmup=7\n"
+            "R 0x0 0b0001\n"
+        )
+        trace = loads_trace(text)
+        assert trace.name == "mykernel"
+        assert trace.memory_intensity == 0.55
+        assert trace.instructions == 4242
+        assert trace.counter_warmup_passes == 7
+
+
+class TestErrors:
+    def test_bad_direction(self):
+        with pytest.raises(TraceError):
+            loads_trace("X 0x0 0b0001\n")
+
+    def test_short_line(self):
+        with pytest.raises(TraceError):
+            loads_trace("R 0x0\n")
+
+    def test_wrong_image_count(self):
+        with pytest.raises(TraceError):
+            loads_trace("R 0x0 0b0011 " + "00" * 32 + "\n")
+
+    def test_bad_hex(self):
+        with pytest.raises(TraceError):
+            loads_trace("R 0x0 0b0001 zz\n")
+
+    def test_wrong_image_size(self):
+        with pytest.raises(TraceError):
+            loads_trace("R 0x0 0b0001 aabb\n")
+
+    def test_empty_file(self):
+        with pytest.raises(TraceError):
+            loads_trace("# nothing here\n")
+
+
+class TestMerge:
+    def test_merge_concatenates(self):
+        a = Trace(name="a", accesses=[TraceAccess(0, 1, False)],
+                  memory_intensity=1.0)
+        b = Trace(name="b", accesses=[TraceAccess(128, 1, True)] * 3,
+                  memory_intensity=0.5, counter_warmup_passes=9)
+        merged = merge_traces([a, b])
+        assert len(merged) == 4
+        assert merged.memory_intensity == pytest.approx((1.0 + 3 * 0.5) / 4)
+        assert merged.counter_warmup_passes == 9
+
+    def test_merge_nothing_rejected(self):
+        with pytest.raises(TraceError):
+            merge_traces([])

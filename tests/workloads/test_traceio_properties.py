@@ -1,0 +1,50 @@
+"""Property-based round-trip tests for trace I/O (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.trace import Trace, TraceAccess
+from repro.workloads.traceio import dumps_trace, loads_trace
+
+
+@st.composite
+def trace_accesses(draw):
+    mask = draw(st.integers(min_value=1, max_value=15))
+    line = draw(st.integers(min_value=0, max_value=2**20)) * 128
+    write = draw(st.booleans())
+    with_values = draw(st.booleans())
+    values = None
+    if with_values:
+        values = [
+            (slot, draw(st.binary(min_size=32, max_size=32)))
+            for slot in range(4)
+            if (mask >> slot) & 1
+        ]
+    return TraceAccess(line, mask, write, values)
+
+
+traces = st.builds(
+    Trace,
+    # Names must be whitespace-free tokens in the text format.
+    name=st.sampled_from(["k1", "bfs2", "mytrace", "lbm_slice"]),
+    accesses=st.lists(trace_accesses(), min_size=1, max_size=40),
+    memory_intensity=st.floats(min_value=0.0, max_value=1.0),
+    instructions=st.integers(min_value=1, max_value=10**6),
+    counter_warmup_passes=st.integers(min_value=0, max_value=20),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces)
+def test_roundtrip_preserves_trace(trace):
+    recovered = loads_trace(dumps_trace(trace))
+    assert recovered.name == trace.name
+    assert recovered.memory_intensity == trace.memory_intensity
+    assert recovered.instructions == trace.instructions
+    assert recovered.counter_warmup_passes == trace.counter_warmup_passes
+    assert len(recovered) == len(trace)
+    for a, b in zip(trace, recovered):
+        assert a.line_addr == b.line_addr
+        assert a.sector_mask == b.sector_mask
+        assert a.write == b.write
+        assert a.values == b.values

@@ -1,0 +1,122 @@
+"""Tests for value models and the reuse study."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import RngStream
+from repro.workloads.values import (
+    ValueModel,
+    ValueModelConfig,
+    ValueReuseStudy,
+    study_trace_values,
+)
+
+
+def make_model(**kwargs):
+    return ValueModel(ValueModelConfig(**kwargs), RngStream(11))
+
+
+class TestValueModel:
+    def test_image_shape(self):
+        images = make_model().sector_images(10)
+        assert len(images) == 10
+        assert all(len(image) == 32 for image in images)
+
+    def test_determinism(self):
+        a = ValueModel(ValueModelConfig(), RngStream(3)).sector_images(20)
+        b = ValueModel(ValueModelConfig(), RngStream(3)).sector_images(20)
+        assert a == b
+
+    def test_zero_reuse_gives_mostly_unique_values(self):
+        model = make_model(sector_reuse=0.0, value_reuse=0.0)
+        images = model.sector_images(100)
+        values = {v for img in images for v in
+                  [img[i:i+4] for i in range(0, 32, 4)]}
+        assert len(values) > 700  # out of 800 draws
+
+    def test_high_reuse_concentrates_values(self):
+        model = make_model(sector_reuse=1.0, pool_size=32)
+        images = model.sector_images(100)
+        values = {v for img in images for v in
+                  [img[i:i+4] for i in range(0, 32, 4)]}
+        # Pool of 32 values, perturbed in the low nibble only.
+        assert len(values) < 32 * 16
+
+    def test_group_sizes_must_sum(self):
+        with pytest.raises(ConfigurationError):
+            make_model().sector_images(5, group_sizes=[2, 2])
+
+    def test_grouped_reuse_is_correlated(self):
+        """Sectors of one access share the reuse decision: whole
+        accesses are either pooled or unique."""
+        model = make_model(sector_reuse=0.5, value_reuse=0.0,
+                           near_perturb=0.0, pool_size=16)
+        images = model.sector_images(400, group_sizes=[4] * 100)
+        pool = set()
+        # Learn the pool from a big sample of pooled sectors.
+        for img in images:
+            for i in range(0, 32, 4):
+                pool.add(img[i:i+4])
+        groups_mixed = 0
+        for g in range(100):
+            sector_pooled = []
+            for s in range(4):
+                img = images[4 * g + s]
+                vals = [img[i:i+4] for i in range(0, 32, 4)]
+                # A pooled sector repeats pool values heavily; a unique
+                # sector has 8 distinct fresh values.
+                sector_pooled.append(len(set(vals)) < 8)
+            if len(set(sector_pooled)) > 1:
+                groups_mixed += 1
+        # Correlation: most groups are uniformly pooled or uniformly not.
+        assert groups_mixed < 30
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            ValueModelConfig(sector_reuse=1.5)
+        with pytest.raises(ConfigurationError):
+            ValueModelConfig(pool_size=2)
+
+
+class TestReuseStudy:
+    def test_scenario_ordering(self):
+        """Paper Fig. 9: masked >= halves >= full, always."""
+        model = make_model(sector_reuse=0.5, near_perturb=0.5)
+        study = ValueReuseStudy()
+        for image in model.sector_images(2000):
+            study.observe_sector(image)
+        report = study.report()
+        assert report["masked"] >= report["halves"] >= report["full"]
+
+    def test_zero_locality_shows_no_reuse(self):
+        model = make_model(sector_reuse=0.0, value_reuse=0.0)
+        study = ValueReuseStudy()
+        for image in model.sector_images(500):
+            study.observe_sector(image)
+        assert study.reuse_fraction("masked") < 0.05
+
+    def test_total_locality_shows_high_reuse(self):
+        model = make_model(sector_reuse=1.0, value_reuse=1.0,
+                           near_perturb=0.0, pool_size=32)
+        study = ValueReuseStudy()
+        for image in model.sector_images(500):
+            study.observe_sector(image)
+        assert study.reuse_fraction("halves") > 0.8
+
+    def test_writes_insert_but_do_not_count(self):
+        study = ValueReuseStudy()
+        image = b"\x01\x02\x03\x04" * 8
+        study.observe_sector(image, is_read=False)
+        assert study.sectors_seen == 0
+        study.observe_sector(image, is_read=True)
+        assert study.sectors_seen == 1
+        assert study.reuse_fraction("halves") == 1.0
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            ValueReuseStudy().reuse_fraction("quarters")
+
+    def test_study_over_trace(self, bfs_trace):
+        report = study_trace_values(bfs_trace)
+        assert set(report) == {"full", "halves", "masked"}
+        assert 0.0 < report["masked"] < 1.0
