@@ -16,6 +16,7 @@ Two-phase design for experiment throughput:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, fields
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
@@ -24,6 +25,7 @@ from repro.common.errors import SimulationError
 from repro.gpu.config import GpuConfig
 from repro.mem.cache import CacheConfig, SectoredCache
 from repro.mem.traffic import Stream, TrafficCounter, TrafficReport
+from repro.obs.session import active as _obs_active
 from repro.secure.engine import EngineStats, PartitionEngine
 from repro.workloads.trace import Trace
 
@@ -111,6 +113,18 @@ class SimulationResult:
 
 def simulate_l2(trace: Trace, config: GpuConfig) -> MemoryEventLog:
     """Run the trace through the sectored L2, logging DRAM-side events."""
+    obs = _obs_active()
+    with obs.phase("simulate_l2", trace=trace.name):
+        log = _simulate_l2(trace, config)
+    if obs.config.metrics_active:
+        obs.registry.gauge("l2.sector_hit_rate").set(
+            log.l2_stats.sector_hit_rate
+        )
+        obs.registry.gauge("l2.dram_events").set(len(log.events))
+    return log
+
+
+def _simulate_l2(trace: Trace, config: GpuConfig) -> MemoryEventLog:
     amap = config.address_map
     l2_banks = [
         SectoredCache(
@@ -220,6 +234,10 @@ def replay_events(
         counter_warmup_passes = log.counter_warmup_passes
     if counter_warmup_passes < 0:
         raise ValueError("warmup passes cannot be negative")
+    obs = _obs_active()
+    metrics_on = obs.config.metrics_active
+    interval = obs.config.interval_events if metrics_on else 0
+    trace_mem = obs.config.tracing_active and obs.config.trace_memory_events
     traffic = TrafficCounter()
     sectors_per_partition = config.sectors_per_partition
     engines: Dict[int, PartitionEngine] = {}
@@ -231,24 +249,119 @@ def replay_events(
             engines[partition] = engine
         return engine
 
-    for _ in range(counter_warmup_passes):
+    snapshot = None
+    total: Optional[TrafficCounter] = None
+    if interval:
+        # Interval mode: `traffic` holds only the current window; each
+        # snapshot folds it into `total` and resets it in place, so
+        # per-interval deltas cost no re-allocation and engines keep
+        # writing into the same counter they were constructed with.
+        total = TrafficCounter()
+        window = obs.config.sampler_window
+        registry = obs.registry
+        series = {
+            "data": registry.sampler(
+                "traffic.data.bytes", window=window, agg="sum"
+            ),
+            "counter": registry.sampler(
+                "traffic.counter.bytes", window=window, agg="sum"
+            ),
+            "mac": registry.sampler(
+                "traffic.mac.bytes", window=window, agg="sum"
+            ),
+            "bmt": registry.sampler(
+                "traffic.bmt.bytes", window=window, agg="sum"
+            ),
+            "total": registry.sampler(
+                "traffic.total.bytes", window=window, agg="sum"
+            ),
+        }
+        hit_rate_series = registry.sampler(
+            "value_cache.hit_rate", window=window, agg="mean"
+        )
+        previous = {"probes": 0, "hits": 0}
+
+        def snapshot(position: int) -> None:
+            report = traffic.report()
+            series["data"].record(position, report.data_bytes)
+            series["counter"].record(position, report.counter_bytes)
+            series["mac"].record(position, report.mac_bytes)
+            series["bmt"].record(position, report.tree_bytes)
+            series["total"].record(position, report.total_bytes)
+            total.merge(traffic)
+            traffic.reset()
+            probes = hits = 0
+            for engine in engines.values():
+                snap = engine.obs_snapshot()
+                probes += snap.get("value_probes", 0)
+                hits += snap.get("value_hits", 0)
+            probes_delta = probes - previous["probes"]
+            if probes_delta > 0:
+                hit_rate_series.record(
+                    position, (hits - previous["hits"]) / probes_delta
+                )
+            previous["probes"] = probes
+            previous["hits"] = hits
+            obs.tracer.emit(
+                "traffic.interval",
+                position=position,
+                interval_bytes=report.total_bytes,
+                metadata_bytes=report.metadata_bytes,
+            )
+
+    with obs.phase("replay_warmup", trace=log.trace_name,
+                   passes=counter_warmup_passes):
+        for _ in range(counter_warmup_passes):
+            for event in log.events:
+                if event.kind is EventKind.WRITEBACK:
+                    engine_for(event.partition).warm_counters(
+                        event.sector_index
+                    )
+
+    start = time.perf_counter() if obs.enabled else 0.0
+    with obs.phase("replay_events", trace=log.trace_name):
+        position = 0
         for event in log.events:
-            if event.kind is EventKind.WRITEBACK:
-                engine_for(event.partition).warm_counters(event.sector_index)
+            engine = engine_for(event.partition)
+            if event.kind is EventKind.FILL:
+                traffic.record(Stream.DATA_READ, 32, transactions=1)
+                engine.on_fill(event.sector_index, event.values)
+            else:
+                traffic.record(Stream.DATA_WRITE, 32, transactions=1)
+                engine.on_writeback(event.sector_index, event.values)
+            if trace_mem:
+                obs.tracer.emit(
+                    f"mem.{event.kind.value}",
+                    partition=event.partition,
+                    sector=event.sector_index,
+                )
+            position += 1
+            if interval and position % interval == 0:
+                snapshot(position)
 
-    for event in log.events:
-        engine = engine_for(event.partition)
-        if event.kind is EventKind.FILL:
-            traffic.record(Stream.DATA_READ, 32, transactions=1)
-            engine.on_fill(event.sector_index, event.values)
-        else:
-            traffic.record(Stream.DATA_WRITE, 32, transactions=1)
-            engine.on_writeback(event.sector_index, event.values)
+        engine_name = "no-traffic"
+        for engine in engines.values():
+            engine.finalize()
+            engine_name = engine.name
+        if interval:
+            # Tail events plus finalize()'s metadata drain.
+            snapshot(position)
+            traffic = total
 
-    engine_name = "no-traffic"
-    for engine in engines.values():
-        engine.finalize()
-        engine_name = engine.name
+    merged_stats = _merge_stats([e.stats for e in engines.values()])
+    if obs.enabled:
+        elapsed = time.perf_counter() - start
+        if metrics_on:
+            registry = obs.registry
+            registry.gauge("replay.events").set(len(log.events))
+            if elapsed > 0:
+                registry.gauge("replay.events_per_sec").set(
+                    len(log.events) / elapsed
+                )
+            for f in fields(EngineStats):
+                registry.gauge(f"engine.{f.name}").set(
+                    getattr(merged_stats, f.name)
+                )
 
     return SimulationResult(
         engine_name=engine_name,
@@ -256,7 +369,7 @@ def replay_events(
         memory_intensity=log.memory_intensity,
         instructions=log.instructions,
         traffic=traffic.report(),
-        engine_stats=_merge_stats([e.stats for e in engines.values()]),
+        engine_stats=merged_stats,
         l2_stats=log.l2_stats,
     )
 

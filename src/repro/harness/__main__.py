@@ -3,6 +3,10 @@
 Runs the requested experiments (default: all) and prints their reports.
 Useful flags: ``--length`` to control trace size, ``--benchmarks`` to
 restrict the roster.
+
+``python -m repro.harness profile <benchmark>`` instead runs one fully
+instrumented simulation and renders the observability dashboard; see
+docs/ARCHITECTURE.md § Observability.
 """
 
 from __future__ import annotations
@@ -11,13 +15,81 @@ import argparse
 import sys
 
 from repro.harness.experiments import EXPERIMENTS
-from repro.harness.report import render_experiment
-from repro.harness.runner import DEFAULT_TRACE_LENGTH, ExperimentContext
+from repro.harness.report import render_experiment, render_profile
+from repro.harness.runner import (
+    DEFAULT_TRACE_LENGTH,
+    ExperimentContext,
+    engine_factories,
+)
+from repro.obs import ObsConfig
 from repro.workloads.benchmarks import benchmark_names
+
+
+def profile_main(argv) -> int:
+    """Parse and run the ``profile`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness profile",
+        description="Run one instrumented simulation and render the "
+                    "observability dashboard.",
+    )
+    parser.add_argument(
+        "benchmark", choices=benchmark_names(),
+        help="benchmark trace to profile",
+    )
+    parser.add_argument(
+        "--engine", default="plutus", choices=sorted(engine_factories()),
+        help="engine design point (default: plutus)",
+    )
+    parser.add_argument(
+        "--length", type=int, default=DEFAULT_TRACE_LENGTH,
+        help="trace length in coalesced accesses",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2023, help="trace generation seed"
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the event trace as JSONL",
+    )
+    parser.add_argument(
+        "--interval", type=int, default=1024, metavar="EVENTS",
+        help="DRAM events between traffic snapshots (default 1024)",
+    )
+    parser.add_argument(
+        "--trace-events", action="store_true",
+        help="also trace every individual fill/writeback (verbose)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.harness.profile import run_profile
+
+    profile = run_profile(
+        args.benchmark,
+        args.engine,
+        length=args.length,
+        seed=args.seed,
+        obs=ObsConfig(
+            enabled=True,
+            interval_events=args.interval,
+            trace_memory_events=args.trace_events,
+        ),
+        metrics_out=args.metrics_out,
+        trace_out=args.trace_out,
+    )
+    print(render_profile(profile))
+    return 0
 
 
 def main(argv=None) -> int:
     """Parse arguments, run the selected experiments, print reports."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the Plutus paper's tables and figures.",

@@ -32,6 +32,7 @@ from repro.metadata.compact import (
     DESIGN_3BIT_ADAPTIVE,
 )
 from repro.metadata.layout import GranularityDesign
+from repro.obs import ObsConfig, ObsSession, activate
 from repro.secure.common_counters import CommonCountersEngine
 from repro.secure.engine import NoSecurityEngine
 from repro.secure.plutus import PlutusEngine
@@ -45,7 +46,7 @@ from repro.workloads.trace import Trace
 DEFAULT_TRACE_LENGTH = int(os.environ.get("REPRO_TRACE_LEN", "30000"))
 
 
-def _engine_factories() -> Dict[str, EngineFactory]:
+def engine_factories() -> Dict[str, EngineFactory]:
     """The named design points every experiment draws from."""
 
     def plutus_variant(**kwargs) -> EngineFactory:
@@ -115,31 +116,48 @@ def _engine_factories() -> Dict[str, EngineFactory]:
     return factories
 
 
+#: Backwards-compatible alias for the pre-observability private name.
+_engine_factories = engine_factories
+
+
 @dataclass
 class ExperimentContext:
-    """Caching runner shared by every experiment."""
+    """Caching runner shared by every experiment.
+
+    When an enabled :class:`~repro.obs.ObsConfig` is supplied, every
+    trace build, L2 pass, and engine replay executed through the context
+    runs under one :class:`~repro.obs.ObsSession`, whose registry and
+    tracer accumulate across runs (the ``profile`` subcommand drives a
+    single run and exports them). The default config is disabled and
+    changes nothing.
+    """
 
     config: GpuConfig = VOLTA
     trace_length: int = DEFAULT_TRACE_LENGTH
     seed: int = 2023
     benchmarks: List[str] = field(default_factory=benchmark_names)
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         self._traces: Dict[str, Trace] = {}
         self._logs: Dict[str, MemoryEventLog] = {}
         self._results: Dict[str, SimulationResult] = {}
-        self.factories = _engine_factories()
+        self.factories = engine_factories()
+        self.obs_session = ObsSession(self.obs)
 
     def trace(self, benchmark: str) -> Trace:
         if benchmark not in self._traces:
-            self._traces[benchmark] = build_trace(
-                benchmark, length=self.trace_length, seed=self.seed
-            )
+            with self.obs_session.phase("build_trace", benchmark=benchmark):
+                self._traces[benchmark] = build_trace(
+                    benchmark, length=self.trace_length, seed=self.seed
+                )
         return self._traces[benchmark]
 
     def event_log(self, benchmark: str) -> MemoryEventLog:
         if benchmark not in self._logs:
-            self._logs[benchmark] = simulate_l2(self.trace(benchmark), self.config)
+            trace = self.trace(benchmark)
+            with activate(self.obs_session):
+                self._logs[benchmark] = simulate_l2(trace, self.config)
         return self._logs[benchmark]
 
     def run(self, benchmark: str, engine_key: str) -> SimulationResult:
@@ -152,9 +170,11 @@ class ExperimentContext:
                     f"unknown engine {engine_key!r}; known: "
                     f"{sorted(self.factories)}"
                 )
-            self._results[cache_key] = replay_events(
-                self.event_log(benchmark), factory, self.config
-            )
+            log = self.event_log(benchmark)
+            with activate(self.obs_session):
+                self._results[cache_key] = replay_events(
+                    log, factory, self.config
+                )
         return self._results[cache_key]
 
     def run_custom(
@@ -166,7 +186,9 @@ class ExperimentContext:
         """Simulate with an ad-hoc engine factory, memoized under *key*."""
         cache_key = f"{benchmark}|{key}"
         if cache_key not in self._results:
-            self._results[cache_key] = replay_events(
-                self.event_log(benchmark), factory, self.config
-            )
+            log = self.event_log(benchmark)
+            with activate(self.obs_session):
+                self._results[cache_key] = replay_events(
+                    log, factory, self.config
+                )
         return self._results[cache_key]

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.common.bitops import popcount
 from repro.common.errors import ConfigurationError
+from repro.obs.session import active as _obs_active
 
 
 @dataclass(frozen=True)
@@ -147,6 +148,24 @@ class SectoredCache:
         self._sets: List["OrderedDict[int, _Line]"] = [
             OrderedDict() for _ in range(config.num_sets)
         ]
+        # Observability binds at construction: instances created under an
+        # active session publish hit/miss/eviction counters aggregated by
+        # cache *family* — the name up to the partition index, so
+        # "ctr[0]".."ctr[31]" all feed "cache.ctr.*". Disabled sessions
+        # leave the slots None and access() pays one check.
+        obs = _obs_active()
+        if obs.config.metrics_active:
+            family = config.name.split("[", 1)[0]
+            registry = obs.registry
+            self._m_hits = registry.counter(f"cache.{family}.sector_hits")
+            self._m_misses = registry.counter(f"cache.{family}.sector_misses")
+            self._m_evictions = registry.counter(
+                f"cache.{family}.line_evictions"
+            )
+        else:
+            self._m_hits = None
+            self._m_misses = None
+            self._m_evictions = None
 
     def _set_index(self, line_addr: int) -> int:
         """XOR-folded set index.
@@ -208,6 +227,8 @@ class SectoredCache:
             if len(set_) >= self.config.ways:
                 victim_addr, victim = set_.popitem(last=False)
                 self.stats.line_evictions += 1
+                if self._m_evictions is not None:
+                    self._m_evictions.inc()
                 if victim.dirty_mask:
                     self.stats.dirty_evictions += 1
                     evictions.append(Eviction(victim_addr, victim.dirty_mask))
@@ -218,8 +239,15 @@ class SectoredCache:
 
         hit_mask = mask & line.valid_mask
         miss_mask = mask & ~line.valid_mask
-        self.stats.sector_hits += popcount(hit_mask)
-        self.stats.sector_misses += popcount(miss_mask)
+        hits = popcount(hit_mask)
+        misses = popcount(miss_mask)
+        self.stats.sector_hits += hits
+        self.stats.sector_misses += misses
+        if self._m_hits is not None:
+            if hits:
+                self._m_hits.inc(hits)
+            if misses:
+                self._m_misses.inc(misses)
 
         line.valid_mask |= mask
         if write:

@@ -9,7 +9,7 @@ performance model converts total bytes into normalized IPC.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, Mapping
 
@@ -75,6 +75,17 @@ class TrafficCounter:
             self._bytes[stream] += other._bytes[stream]
             self._transactions[stream] += other._transactions[stream]
 
+    def reset(self) -> None:
+        """Zero all totals in place.
+
+        Interval profiling accumulates into one counter per window and
+        resets it at each snapshot, so per-interval deltas never
+        re-allocate counters (see :func:`repro.gpu.simulator.replay_events`).
+        """
+        for stream in Stream:
+            self._bytes[stream] = 0
+            self._transactions[stream] = 0
+
     def bytes_for(self, stream: Stream) -> int:
         return self._bytes[stream]
 
@@ -91,10 +102,28 @@ class TrafficCounter:
 
 @dataclass(frozen=True)
 class TrafficReport:
-    """Immutable per-stream traffic totals with derived views."""
+    """Immutable per-stream traffic totals with derived views.
+
+    Both mappings are *required*: a report without transaction data
+    would make the derived transaction views silently read 0 (which
+    corrupted latency modeling before this was enforced). Construction
+    normalizes each mapping to cover every stream (absent streams become
+    0) and rejects negative entries.
+    """
 
     bytes_by_stream: Mapping[Stream, int]
-    transactions_by_stream: Mapping[Stream, int] = field(default_factory=dict)
+    transactions_by_stream: Mapping[Stream, int]
+
+    def __post_init__(self) -> None:
+        for name in ("bytes_by_stream", "transactions_by_stream"):
+            raw = getattr(self, name)
+            normalized = {s: int(raw.get(s, 0)) for s in Stream}
+            if any(v < 0 for v in normalized.values()):
+                raise ValueError(f"{name} cannot contain negative traffic")
+            unknown = set(raw) - set(Stream)
+            if unknown:
+                raise ValueError(f"{name} has unknown streams: {unknown}")
+            object.__setattr__(self, name, normalized)
 
     def _sum(self, streams: Iterable[Stream]) -> int:
         return sum(self.bytes_by_stream.get(s, 0) for s in streams)
@@ -102,6 +131,13 @@ class TrafficReport:
     @property
     def total_bytes(self) -> int:
         return self._sum(Stream)
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(self.transactions_by_stream.values())
+
+    def transactions_for(self, stream: Stream) -> int:
+        return self.transactions_by_stream[stream]
 
     @property
     def data_bytes(self) -> int:

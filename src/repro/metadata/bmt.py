@@ -26,6 +26,7 @@ from typing import List, Tuple
 from repro.common.errors import ConfigurationError
 from repro.mem.cache import SectoredCache
 from repro.mem.traffic import Stream, TrafficCounter
+from repro.obs.session import active as _obs_active
 
 
 @dataclass(frozen=True)
@@ -151,6 +152,23 @@ class BmtTraversal:
         self.lazy_update = lazy_update
         #: Number of verification walks that reached the root.
         self.root_verifications = 0
+        # Observability: histogram of fetched-levels per verification
+        # walk, keyed by tree family (original "bmt" vs compact mirror
+        # "compact_bmt") so the profile dashboard can show how deep
+        # walks actually go before hitting a cached node.
+        obs = _obs_active()
+        if obs.config.metrics_active:
+            family = (
+                "compact_bmt"
+                if read_stream is Stream.COMPACT_BMT_READ
+                else "bmt"
+            )
+            self._h_verify_depth = obs.registry.histogram(
+                f"{family}.verify_depth",
+                bounds=tuple(range(0, max(2, geometry.root_level) + 1)),
+            )
+        else:
+            self._h_verify_depth = None
 
     # -- address helpers -------------------------------------------------
 
@@ -241,6 +259,8 @@ class BmtTraversal:
             # Full hit: node already verified earlier; chain is trusted.
             self._writeback(result.evictions)
             break
+        if self._h_verify_depth is not None:
+            self._h_verify_depth.record(fetched)
         return fetched
 
     def update_leaf(self, leaf_index: int) -> None:

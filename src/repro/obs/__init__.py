@@ -1,0 +1,50 @@
+"""Observability layer: metrics registry, event tracing, profiling hooks.
+
+Everything here is zero-dependency and *opt-in*: the pipeline's
+instrumentation sites bind to the :func:`active` session at construction
+time, and the default session is disabled — hooks reduce to a single
+check, keeping figure outputs and test timings identical to an
+uninstrumented build. See docs/ARCHITECTURE.md § Observability.
+"""
+
+from repro.obs.config import DISABLED, ObsConfig
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    metrics_payload,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Sampler,
+)
+from repro.obs.session import DISABLED_SESSION, ObsSession, activate, active
+from repro.obs.tracer import NULL_TRACER, EventTracer, NullTracer
+
+__all__ = [
+    "ObsConfig",
+    "DISABLED",
+    "ObsSession",
+    "DISABLED_SESSION",
+    "active",
+    "activate",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Sampler",
+    "EventTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "METRICS_SCHEMA",
+    "metrics_payload",
+    "write_metrics_json",
+    "write_trace_jsonl",
+]

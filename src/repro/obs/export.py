@@ -1,0 +1,61 @@
+"""Serialization of collected metrics and traces.
+
+Two stable on-disk formats:
+
+* ``metrics.json`` — one object: a schema tag, the originating
+  :class:`~repro.obs.config.ObsConfig`, every registry instrument under
+  ``metrics`` (keyed by dotted name), and a free-form ``extra`` section
+  for caller headline numbers.
+* ``events.jsonl`` — the tracer's ring buffer, one JSON event per line
+  (schema documented in docs/ARCHITECTURE.md).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import EventTracer
+
+#: Version tag for the metrics JSON layout.
+METRICS_SCHEMA = "repro.obs/1"
+
+
+def metrics_payload(
+    registry: MetricsRegistry,
+    config: Optional[ObsConfig] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The JSON-able object ``write_metrics_json`` persists."""
+    return {
+        "schema": METRICS_SCHEMA,
+        "config": config.as_dict() if config is not None else None,
+        "metrics": registry.as_dict(),
+        "extra": extra or {},
+    }
+
+
+def write_metrics_json(
+    path: str,
+    registry: MetricsRegistry,
+    config: Optional[ObsConfig] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> None:
+    """Dump a registry (plus headline extras) as one JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics_payload(registry, config, extra), handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_trace_jsonl(path: str, tracer: EventTracer) -> int:
+    """Dump the tracer ring buffer as JSONL; returns lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in tracer.to_jsonl():
+            handle.write(line)
+            handle.write("\n")
+            count += 1
+    return count

@@ -1,0 +1,88 @@
+"""Observability sessions and the ambient-activation protocol.
+
+Instrumented components (caches, BMT traversals, engines, the replay
+loop) do not take an observability argument — they capture the *active*
+session at construction time via :func:`active`. The default active
+session is a shared disabled singleton whose registry and tracer are
+no-ops, so an uninstrumented run pays one attribute check per hook.
+
+The harness activates a real session around a region::
+
+    session = ObsSession(ObsConfig(enabled=True))
+    with activate(session):
+        result = replay_events(log, factory, config)
+    write_metrics_json("m.json", session.registry)
+
+Activation is scoped and re-entrant (the previous session is restored on
+exit), which keeps concurrently constructed contexts independent.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.config import ObsConfig
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, EventTracer
+
+
+class ObsSession:
+    """One instrumentation scope: a config, a registry, and a tracer."""
+
+    __slots__ = ("config", "enabled", "registry", "tracer")
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self.config = config if config is not None else ObsConfig()
+        self.enabled = self.config.enabled
+        self.registry = (
+            MetricsRegistry() if self.config.metrics_active else NULL_REGISTRY
+        )
+        self.tracer = (
+            EventTracer(self.config.ring_capacity)
+            if self.config.tracing_active
+            else NULL_TRACER
+        )
+
+    @contextmanager
+    def phase(self, name: str, **attrs: object) -> Iterator[None]:
+        """Time a pipeline phase into both the tracer and the registry.
+
+        Emits a ``phase.<name>`` span and sets a ``phase.<name>.seconds``
+        gauge, so phase timings survive in the metrics JSON even when
+        tracing is off. No clock is read when the session is disabled.
+        """
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.registry.gauge(f"phase.{name}.seconds").set(elapsed)
+            self.tracer.emit(f"phase.{name}", kind="span", dur=elapsed, **attrs)
+
+
+#: The shared everything-off session; the default active session.
+DISABLED_SESSION = ObsSession()
+
+_active: ObsSession = DISABLED_SESSION
+
+
+def active() -> ObsSession:
+    """The session instrumentation sites should bind to right now."""
+    return _active
+
+
+@contextmanager
+def activate(session: ObsSession) -> Iterator[ObsSession]:
+    """Make *session* the active one for the duration of the block."""
+    global _active
+    previous = _active
+    _active = session
+    try:
+        yield session
+    finally:
+        _active = previous

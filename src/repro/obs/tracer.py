@@ -1,0 +1,145 @@
+"""Ring-buffered structured event tracer.
+
+Events are small dicts with a fixed header — monotonic sequence number,
+seconds since the tracer was created, a dotted name, a kind
+(``event``/``span``) and an optional duration — plus free-form
+caller attributes under ``attrs``. Storage is a bounded deque: when the
+ring fills, the oldest events fall off and are counted, so tracing a
+long run costs bounded memory and never fails.
+
+The export format is JSONL (one JSON object per line), the same schema
+whether dumped to disk (``--trace-out``) or inspected in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+class EventTracer:
+    """Append-only bounded event log with span timing support."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._clock = clock
+        self._origin = clock()
+        self._events: "deque[Dict[str, object]]" = deque(maxlen=capacity)
+        self.emitted = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def emit(
+        self,
+        name: str,
+        kind: str = "event",
+        dur: Optional[float] = None,
+        **attrs: object,
+    ) -> None:
+        """Record one event; oldest events are dropped when full."""
+        event: Dict[str, object] = {
+            "seq": self.emitted,
+            "ts": round(self._clock() - self._origin, 9),
+            "name": name,
+            "kind": kind,
+        }
+        if dur is not None:
+            event["dur"] = round(dur, 9)
+        if attrs:
+            event["attrs"] = attrs
+        self._events.append(event)
+        self.emitted += 1
+
+    def span(self, name: str, **attrs: object) -> "_Span":
+        """Context manager timing a region; emits one ``span`` event."""
+        return _Span(self, name, attrs)
+
+    # -- inspection / export ----------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring overflow."""
+        return self.emitted - len(self._events)
+
+    def events(self) -> List[Dict[str, object]]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_jsonl(self) -> Iterator[str]:
+        """One compact JSON object per retained event."""
+        for event in self._events:
+            yield json.dumps(event, separators=(",", ":"), sort_keys=True)
+
+
+class _Span:
+    """Times a ``with`` region and emits it as one span event."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_start")
+
+    def __init__(self, tracer: EventTracer, name: str, attrs) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = self._tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = self._tracer._clock() - self._start
+        self._tracer.emit(
+            self._name, kind="span", dur=duration, **self._attrs
+        )
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer twin handed out by disabled sessions."""
+
+    enabled = False
+    emitted = 0
+    dropped = 0
+
+    def emit(self, name, kind="event", dur=None, **attrs) -> None:
+        pass
+
+    def span(self, name, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def events(self) -> List[Dict[str, object]]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def to_jsonl(self) -> Iterator[str]:
+        return iter(())
+
+
+#: Process-wide no-op tracer (stateless; safe to share).
+NULL_TRACER = NullTracer()

@@ -25,10 +25,11 @@ specialize the read/write flows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.mem.cache import CacheConfig, SectoredCache
 from repro.mem.traffic import Stream, TrafficCounter
+from repro.obs.session import active as _obs_active
 from repro.metadata.bmt import BmtTraversal
 from repro.metadata.layout import GranularityDesign, MetadataLayout
 from repro.metadata.split_counter import SplitCounterConfig, SplitCounterStore
@@ -90,6 +91,10 @@ class PartitionEngine:
         self.data_sectors = data_sectors
         self.traffic = traffic
         self.stats = EngineStats()
+        #: Observability session captured at construction (disabled
+        #: singleton by default); subclasses emit tracer events and the
+        #: replay loop polls :meth:`obs_snapshot` through it.
+        self.obs = _obs_active()
 
     def on_fill(self, sector_index: int, values: Optional[bytes]) -> None:
         """Handle a data-sector fetch from DRAM (L2 read miss)."""
@@ -112,6 +117,16 @@ class PartitionEngine:
 
     def finalize(self) -> None:
         """Drain dirty metadata at end of simulation (kernel boundary)."""
+
+    def obs_snapshot(self) -> Dict[str, int]:
+        """Cumulative observability quantities for interval sampling.
+
+        The replay loop polls this at each snapshot interval and records
+        *deltas* into time-series samplers (e.g. value-cache hit rate
+        over trace position). Keys are design-specific; absent keys read
+        as zero. Only called when observability is enabled.
+        """
+        return {}
 
 
 class NoSecurityEngine(PartitionEngine):
@@ -245,6 +260,12 @@ class MetadataEngine(PartitionEngine):
         group = [
             s for s in outcome.reencrypted_sectors if s < self.data_sectors
         ]
+        if self.obs.enabled:
+            self.obs.tracer.emit(
+                "counter.minor_overflow",
+                partition=self.partition_id,
+                reencrypted_sectors=len(group),
+            )
         self.stats.reencrypted_sectors += len(group)
         nbytes = len(group) * self.layout.sector_bytes
         self.traffic.record(Stream.DATA_READ, nbytes, transactions=len(group))
@@ -290,3 +311,13 @@ class MetadataEngine(PartitionEngine):
         self._drain_counter_evictions(self.counter_cache.flush())
         self._drain_mac_evictions(self.mac_cache.flush())
         self.bmt.flush()
+
+    def obs_snapshot(self) -> Dict[str, int]:
+        """Shared cumulative quantities (see :meth:`PartitionEngine.obs_snapshot`)."""
+        return {
+            "fills": self.stats.fills,
+            "writebacks": self.stats.writebacks,
+            "counter_fetches": self.stats.counter_fetches,
+            "mac_fetches": self.stats.mac_fetches,
+            "minor_overflows": self.stats.minor_overflows,
+        }

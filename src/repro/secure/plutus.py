@@ -19,7 +19,7 @@ where integrity-tree traffic is assumed away entirely.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.common.bitops import split_values
 from repro.mem.traffic import Stream, TrafficCounter
@@ -233,6 +233,13 @@ class PlutusEngine(MetadataEngine):
             self.counter_write(sector_index)
         if plan.disables_block:
             self.stats.compact_disable_events += 1
+            if self.obs.enabled:
+                self.obs.tracer.emit(
+                    "compact.disable",
+                    partition=self.partition_id,
+                    block=self.compact.block_of(sector_index),
+                    sector=sector_index,
+                )
             self._sync_block_to_original(sector_index)
 
     def _sync_block_to_original(self, sector_index: int) -> None:
@@ -321,3 +328,22 @@ class PlutusEngine(MetadataEngine):
             self._drain_compact_evictions(self.compact_cache.flush())
             if self.tree_enabled:
                 self.compact_bmt.flush()
+
+    def obs_snapshot(self) -> Dict[str, int]:
+        """Add value-cache and mirror-layer quantities to the shared set."""
+        snap = super().obs_snapshot()
+        snap.update(
+            value_verified_fills=self.stats.value_verified_fills,
+            value_check_failures=self.stats.value_check_failures,
+            mac_fetches_avoided=self.stats.mac_fetches_avoided,
+            mac_writes_avoided=self.stats.mac_writes_avoided,
+            compact_only_accesses=self.stats.compact_only_accesses,
+            compact_double_accesses=self.stats.compact_double_accesses,
+            original_only_accesses=self.stats.original_only_accesses,
+            compact_disable_events=self.stats.compact_disable_events,
+        )
+        if self.value_cache is not None:
+            snap["value_probes"] = self.value_cache.stats.probes
+            snap["value_hits"] = self.value_cache.stats.hits
+            snap["value_pinned_hits"] = self.value_cache.stats.pinned_hits
+        return snap

@@ -1,0 +1,147 @@
+"""Tests for the ring-buffered event tracer and sessions."""
+
+import json
+
+from repro.obs import (
+    NULL_TRACER,
+    EventTracer,
+    ObsConfig,
+    ObsSession,
+    activate,
+    active,
+    metrics_payload,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+
+
+class TestTracer:
+    def test_emit_and_sequence(self):
+        t = EventTracer(capacity=16)
+        t.emit("a", x=1)
+        t.emit("b")
+        events = t.events()
+        assert [e["name"] for e in events] == ["a", "b"]
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[0]["attrs"] == {"x": 1}
+        assert "attrs" not in events[1]
+
+    def test_ring_overflow_drops_oldest_and_counts(self):
+        t = EventTracer(capacity=4)
+        for i in range(10):
+            t.emit("e", i=i)
+        assert len(t) == 4
+        assert t.emitted == 10
+        assert t.dropped == 6
+        assert [e["attrs"]["i"] for e in t.events()] == [6, 7, 8, 9]
+
+    def test_span_records_duration(self):
+        t = EventTracer()
+        with t.span("work", tag="x"):
+            pass
+        (event,) = t.events()
+        assert event["kind"] == "span"
+        assert event["dur"] >= 0
+        assert event["attrs"] == {"tag": "x"}
+
+    def test_jsonl_lines_parse(self):
+        t = EventTracer()
+        t.emit("a", n=3)
+        with t.span("s"):
+            pass
+        lines = list(t.to_jsonl())
+        assert len(lines) == 2
+        for line in lines:
+            parsed = json.loads(line)
+            assert {"seq", "ts", "name", "kind"} <= set(parsed)
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.emit("x")
+        with NULL_TRACER.span("y"):
+            pass
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.events() == []
+        assert list(NULL_TRACER.to_jsonl()) == []
+
+
+class TestSession:
+    def test_default_session_is_disabled(self):
+        session = active()
+        assert not session.enabled
+        assert not session.registry.enabled
+        assert not session.tracer.enabled
+
+    def test_activation_is_scoped(self):
+        session = ObsSession(ObsConfig(enabled=True))
+        before = active()
+        with activate(session):
+            assert active() is session
+            inner = ObsSession(ObsConfig(enabled=True))
+            with activate(inner):
+                assert active() is inner
+            assert active() is session
+        assert active() is before
+
+    def test_restored_after_exception(self):
+        session = ObsSession(ObsConfig(enabled=True))
+        before = active()
+        try:
+            with activate(session):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert active() is before
+
+    def test_phase_records_gauge_and_span(self):
+        session = ObsSession(ObsConfig(enabled=True))
+        with session.phase("unit_test", tag=1):
+            pass
+        gauge = session.registry.get("phase.unit_test.seconds")
+        assert gauge is not None and gauge.value >= 0
+        (event,) = session.tracer.events()
+        assert event["name"] == "phase.unit_test"
+        assert event["kind"] == "span"
+
+    def test_disabled_phase_collects_nothing(self):
+        session = ObsSession()
+        with session.phase("unit_test"):
+            pass
+        assert session.registry.as_dict() == {}
+
+    def test_partial_enablement(self):
+        metrics_only = ObsSession(ObsConfig(enabled=True, tracing=False))
+        assert metrics_only.registry.enabled
+        assert not metrics_only.tracer.enabled
+        tracing_only = ObsSession(ObsConfig(enabled=True, metrics=False))
+        assert not tracing_only.registry.enabled
+        assert tracing_only.tracer.enabled
+
+
+class TestExport:
+    def test_metrics_json_schema(self, tmp_path):
+        session = ObsSession(ObsConfig(enabled=True))
+        session.registry.counter("hits").inc(7)
+        path = tmp_path / "m.json"
+        write_metrics_json(
+            str(path), session.registry, config=session.config,
+            extra={"note": "x"},
+        )
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.obs/1"
+        assert payload["metrics"]["hits"]["value"] == 7
+        assert payload["extra"] == {"note": "x"}
+        assert payload["config"]["enabled"] is True
+
+    def test_trace_jsonl_written(self, tmp_path):
+        tracer = EventTracer()
+        tracer.emit("a")
+        tracer.emit("b")
+        path = tmp_path / "t.jsonl"
+        assert write_trace_jsonl(str(path), tracer) == 2
+        lines = path.read_text().strip().splitlines()
+        assert [json.loads(l)["name"] for l in lines] == ["a", "b"]
+
+    def test_payload_without_config(self):
+        session = ObsSession(ObsConfig(enabled=True))
+        payload = metrics_payload(session.registry)
+        assert payload["config"] is None
