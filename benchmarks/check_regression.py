@@ -1,0 +1,263 @@
+"""Performance-regression gate for CI (and local use).
+
+Runs a quick pytest-benchmark subset, normalizes the measured means by
+an on-machine calibration loop (so a slow CI runner is compared against
+itself, not against the machine that recorded the baseline), and
+compares against the committed ``benchmarks/baseline.json``:
+
+* a bench whose normalized mean exceeds baseline x ``--tolerance`` is a
+  **regression** and fails the gate;
+* the full comparison — including a serial-vs-parallel replay speedup
+  demonstration — is written to ``--output`` for artifact upload.
+
+Re-baselining after an intentional performance change::
+
+    PYTHONPATH=src python benchmarks/check_regression.py --rebaseline
+
+then commit the updated ``benchmarks/baseline.json``. The speedup
+demonstration records wall-clock for ``replay_events`` at ``workers=1``
+vs ``workers=4`` on one full-size event log; the >= ``--min-speedup``
+assertion only arms when ``REPRO_REQUIRE_SPEEDUP=1`` (multi-core CI
+runners), since a single-core host cannot demonstrate parallelism.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+BASELINE_PATH = HERE / "baseline.json"
+BASELINE_SCHEMA = "repro.bench-baseline/1"
+
+#: The quick gate subset: one analysis-heavy bench and one that sweeps
+#: real simulations across the roster, so both compute styles are
+#: timed. Kept small — the gate must stay a few minutes, not an hour.
+BENCH_SUBSET = [
+    "benchmarks/bench_eq1_forgery.py",
+    "benchmarks/bench_fig06_security_overhead.py",
+]
+
+#: Trace length for the gate's simulations (small but non-trivial).
+GATE_TRACE_LEN = "2000"
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Seconds for a fixed CPU-bound workload on *this* machine.
+
+    A deterministic SHA-256 chain approximates the Python-interpreter
+    throughput the simulator depends on; bench means divided by this
+    number are comparable across differently-sized runners.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        digest = b"\x00" * 32
+        for _ in range(20000):
+            digest = hashlib.sha256(digest).digest()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_bench_subset() -> dict:
+    """Run the gate subset under pytest-benchmark; return name -> mean."""
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        env.setdefault("PYTHONPATH", "src")
+        env["REPRO_BENCH_TRACE_LEN"] = GATE_TRACE_LEN
+        env["REPRO_BENCH_METRICS_OUT"] = ""  # no side artifacts
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *BENCH_SUBSET,
+            "-q",
+            f"--benchmark-json={out}",
+        ]
+        proc = subprocess.run(cmd, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"bench subset failed (exit {proc.returncode})")
+        payload = json.loads(out.read_text())
+    return {
+        bench["name"]: bench["stats"]["mean"]
+        for bench in payload["benchmarks"]
+    }
+
+
+def measure_parallel_speedup(workers: int = 4) -> dict:
+    """Wall-clock for one replay, serial vs sharded across *workers*."""
+    from repro.gpu.config import VOLTA
+    from repro.gpu.simulator import replay_events, simulate_l2
+    from repro.harness.runner import engine_factories
+    from repro.workloads.benchmarks import build_trace
+
+    trace = build_trace("bfs", length=30000, seed=2023)
+    log = simulate_l2(trace, VOLTA)
+    factory = engine_factories()["plutus"]
+
+    start = time.perf_counter()
+    serial = replay_events(log, factory, VOLTA, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = replay_events(log, factory, VOLTA, workers=workers)
+    parallel_seconds = time.perf_counter() - start
+
+    identical = (
+        serial.traffic == parallel.traffic
+        and serial.engine_stats == parallel.engine_stats
+    )
+    return {
+        "events": len(log.events),
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "results_identical": identical,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def compare(current: dict, baseline: dict, calibration: float,
+            tolerance: float, min_time: float) -> dict:
+    """Normalized current-vs-baseline comparison, most-regressed first."""
+    base_cal = baseline["calibration_seconds"]
+    rows = []
+    for name, mean in sorted(current.items()):
+        base_mean = baseline["benchmarks"].get(name)
+        if base_mean is None:
+            rows.append({"name": name, "status": "new", "mean": mean})
+            continue
+        ratio = (mean / calibration) / (base_mean / base_cal)
+        if mean < min_time and base_mean < min_time:
+            # Sub-min_time benches are timer noise; the ratio test only
+            # arms once either side is measurably slow.
+            status = "ok"
+        else:
+            status = "regression" if ratio > tolerance else "ok"
+        rows.append(
+            {
+                "name": name,
+                "status": status,
+                "mean": mean,
+                "baseline_mean": base_mean,
+                "normalized_ratio": ratio,
+            }
+        )
+    missing = sorted(set(baseline["benchmarks"]) - set(current))
+    rows.sort(key=lambda r: -r.get("normalized_ratio", 0.0))
+    return {
+        "tolerance": tolerance,
+        "calibration_seconds": calibration,
+        "baseline_calibration_seconds": base_cal,
+        "rows": rows,
+        "missing_from_run": missing,
+        "regressions": [r["name"] for r in rows if r["status"] == "regression"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance", type=float, default=1.75,
+        help="max allowed normalized slowdown per bench (default 1.75)",
+    )
+    parser.add_argument(
+        "--min-time", type=float, default=0.05, metavar="SECONDS",
+        help="benches faster than this on both sides never regress "
+             "(default 0.05s — below that the timer noise dominates)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="required parallel replay speedup when REPRO_REQUIRE_SPEEDUP "
+             "is set (default 2.0)",
+    )
+    parser.add_argument(
+        "--output", default="comparison.json", metavar="PATH",
+        help="where to write the comparison artifact",
+    )
+    parser.add_argument(
+        "--rebaseline", action="store_true",
+        help="record current means as the new baseline and exit",
+    )
+    parser.add_argument(
+        "--skip-speedup", action="store_true",
+        help="omit the serial-vs-parallel demonstration (quick local runs)",
+    )
+    args = parser.parse_args(argv)
+
+    calibration = calibrate()
+    print(f"calibration: {calibration * 1e3:.1f} ms")
+    current = run_bench_subset()
+
+    if args.rebaseline:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "schema": BASELINE_SCHEMA,
+                    "calibration_seconds": calibration,
+                    "trace_length": int(GATE_TRACE_LEN),
+                    "benchmarks": current,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"baseline rewritten: {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --rebaseline",
+              file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())
+    report = compare(
+        current, baseline, calibration, args.tolerance, args.min_time
+    )
+
+    if not args.skip_speedup:
+        report["parallel_replay"] = measure_parallel_speedup()
+        demo = report["parallel_replay"]
+        print(
+            f"parallel replay: {demo['speedup']:.2f}x over serial "
+            f"({demo['serial_seconds']:.2f}s -> "
+            f"{demo['parallel_seconds']:.2f}s, {demo['workers']} workers, "
+            f"identical={demo['results_identical']})"
+        )
+
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    for row in report["rows"]:
+        ratio = row.get("normalized_ratio")
+        detail = f" ratio={ratio:.2f}" if ratio is not None else ""
+        print(f"  {row['status']:>10}  {row['name']}{detail}")
+
+    failed = False
+    if report["regressions"]:
+        print(f"REGRESSIONS: {report['regressions']}", file=sys.stderr)
+        failed = True
+    demo = report.get("parallel_replay")
+    if demo and not demo["results_identical"]:
+        print("parallel replay diverged from serial", file=sys.stderr)
+        failed = True
+    if demo and os.environ.get("REPRO_REQUIRE_SPEEDUP"):
+        if demo["speedup"] < args.min_speedup:
+            print(
+                f"parallel speedup {demo['speedup']:.2f}x below required "
+                f"{args.min_speedup}x",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,12 +12,26 @@ Two-phase design for experiment throughput:
    in a comparison, which is what makes the figure sweeps cheap.
 
 :func:`simulate` composes both for one-shot use.
+
+Replay parallelizes across *memory partitions*: each of the modeled
+GPU's 32 partitions has its own engine, metadata caches, counters, and
+BMT, and no event ever crosses partitions (PSSM's partition-local
+metadata addressing guarantees it). :func:`split_event_log` shards the
+merged event stream into per-partition sub-logs, ``workers >= 2`` runs
+each shard in its own process, and the per-shard traffic counters,
+engine stats, and metric snapshots are folded back in partition order —
+byte-identical to the serial result (see docs/ARCHITECTURE.md § Sharded
+execution model).
 """
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
-from dataclasses import dataclass, field, fields
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, replace
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -25,6 +39,8 @@ from repro.common.errors import SimulationError
 from repro.gpu.config import GpuConfig
 from repro.mem.cache import CacheConfig, SectoredCache
 from repro.mem.traffic import Stream, TrafficCounter, TrafficReport
+from repro.obs.config import ObsConfig
+from repro.obs.session import ObsSession, activate as _obs_activate
 from repro.obs.session import active as _obs_active
 from repro.secure.engine import EngineStats, PartitionEngine
 from repro.workloads.trace import Trace
@@ -212,11 +228,203 @@ def _merge_stats(per_partition: List[EngineStats]) -> EngineStats:
     return merged
 
 
+def resolve_workers(workers: "int | None") -> int:
+    """Normalize a ``--workers`` value: ``None`` means one per CPU core."""
+    if workers is None:
+        return max(1, os.cpu_count() or 1)
+    if workers < 1:
+        raise ValueError("workers must be >= 1 (or None for auto)")
+    return workers
+
+
+def split_event_log(log: MemoryEventLog) -> Dict[int, MemoryEventLog]:
+    """Shard an event log into per-partition sub-logs.
+
+    Each sub-log preserves the partition's events in their original
+    order and inherits the parent's trace profile (name, intensity,
+    warmup depth), so it replays exactly as that partition's slice of
+    the merged stream would. L2 stats stay with the parent log — they
+    describe the whole cache pass, not one partition's share.
+    """
+    shards: Dict[int, MemoryEventLog] = {}
+    for event in log.events:
+        shard = shards.get(event.partition)
+        if shard is None:
+            shard = MemoryEventLog(
+                trace_name=log.trace_name,
+                memory_intensity=log.memory_intensity,
+                instructions=log.instructions,
+                counter_warmup_passes=log.counter_warmup_passes,
+            )
+            shards[event.partition] = shard
+        shard.events.append(event)
+        if event.kind is EventKind.FILL:
+            shard.fill_sectors += 1
+        else:
+            shard.writeback_sectors += 1
+    return shards
+
+
+@dataclass
+class _ShardOutcome:
+    """What one worker process returns for one partition's replay."""
+
+    partition: int
+    engine_name: str
+    engine_stats: EngineStats
+    #: ``TrafficCounter.state()`` form: stream value -> (bytes, transactions).
+    traffic_state: Dict[str, Tuple[int, int]]
+    #: ``MetricsRegistry.as_dict()`` payload when metrics were active.
+    metrics: Optional[Dict[str, Dict[str, object]]]
+
+
+def _replay_shard(
+    shard: MemoryEventLog,
+    engine_factory: EngineFactory,
+    config: GpuConfig,
+    counter_warmup_passes: int,
+    obs_config: Optional[ObsConfig],
+) -> _ShardOutcome:
+    """Worker-process entry: replay one partition's sub-log serially."""
+    session = ObsSession(obs_config) if obs_config is not None else None
+    if session is not None:
+        with _obs_activate(session):
+            result = replay_events(
+                shard, engine_factory, config, counter_warmup_passes,
+                workers=1,
+            )
+        metrics = (
+            session.registry.as_dict()
+            if session.config.metrics_active else None
+        )
+    else:
+        result = replay_events(
+            shard, engine_factory, config, counter_warmup_passes, workers=1
+        )
+        metrics = None
+    traffic_state = {
+        s.value: (
+            result.traffic.bytes_by_stream[s],
+            result.traffic.transactions_by_stream[s],
+        )
+        for s in Stream
+    }
+    return _ShardOutcome(
+        partition=shard.events[0].partition,
+        engine_name=result.engine_name,
+        engine_stats=result.engine_stats,
+        traffic_state=traffic_state,
+        metrics=metrics,
+    )
+
+
+def _replay_events_parallel(
+    log: MemoryEventLog,
+    engine_factory: EngineFactory,
+    config: GpuConfig,
+    counter_warmup_passes: int,
+    requested_workers: int,
+) -> Optional[SimulationResult]:
+    """Shard-per-partition replay across a process pool.
+
+    Returns ``None`` to signal the caller to take the serial path: when
+    the log touches fewer than two partitions (nothing to overlap) or
+    the factory cannot cross a process boundary (ad-hoc lambdas; named
+    design points use the picklable
+    :class:`~repro.harness.runner.EngineSpec`).
+
+    Merging is deterministic — shards are folded back in ascending
+    partition order — and byte-identical to serial replay: every stream
+    byte/transaction and every :class:`EngineStats` field is an integer
+    sum over per-partition contributions, and partitions never interact.
+    """
+    shards = split_event_log(log)
+    if len(shards) < 2:
+        return None
+    try:
+        pickle.dumps(engine_factory)
+    except Exception:
+        warnings.warn(
+            "engine factory is not picklable; falling back to serial "
+            "replay (named factories from repro.harness.runner are "
+            "picklable EngineSpecs)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return None
+    obs = _obs_active()
+    # Workers get metrics but not tracing: ring buffers cannot merge
+    # without reordering, and per-event traces are a serial-debug tool.
+    child_obs = replace(obs.config, tracing=False) if obs.enabled else None
+    n_workers = min(requested_workers, len(shards))
+    start = time.perf_counter() if obs.enabled else 0.0
+    ordered = sorted(shards)
+    with obs.phase(
+        "replay_events", trace=log.trace_name,
+        workers=n_workers, shards=len(shards),
+    ):
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(
+                    _replay_shard,
+                    shards[partition],
+                    engine_factory,
+                    config,
+                    counter_warmup_passes,
+                    child_obs,
+                )
+                for partition in ordered
+            ]
+            outcomes = [future.result() for future in futures]
+
+    outcomes.sort(key=lambda outcome: outcome.partition)
+    traffic = TrafficCounter()
+    engine_name = "no-traffic"
+    for outcome in outcomes:
+        traffic.merge_state(outcome.traffic_state)
+        engine_name = outcome.engine_name
+        if obs.config.metrics_active and outcome.metrics:
+            obs.registry.merge_snapshot(outcome.metrics)
+        if obs.enabled:
+            obs.tracer.emit(
+                "replay.shard",
+                partition=outcome.partition,
+                events=len(shards[outcome.partition].events),
+            )
+    merged_stats = _merge_stats([o.engine_stats for o in outcomes])
+
+    if obs.enabled:
+        elapsed = time.perf_counter() - start
+        if obs.config.metrics_active:
+            registry = obs.registry
+            registry.gauge("replay.events").set(len(log.events))
+            registry.gauge("replay.workers").set(n_workers)
+            if elapsed > 0:
+                registry.gauge("replay.events_per_sec").set(
+                    len(log.events) / elapsed
+                )
+            for f in fields(EngineStats):
+                registry.gauge(f"engine.{f.name}").set(
+                    getattr(merged_stats, f.name)
+                )
+
+    return SimulationResult(
+        engine_name=engine_name,
+        trace_name=log.trace_name,
+        memory_intensity=log.memory_intensity,
+        instructions=log.instructions,
+        traffic=traffic.report(),
+        engine_stats=merged_stats,
+        l2_stats=log.l2_stats,
+    )
+
+
 def replay_events(
     log: MemoryEventLog,
     engine_factory: EngineFactory,
     config: GpuConfig,
     counter_warmup_passes: "int | None" = None,
+    workers: "int | None" = 1,
 ) -> SimulationResult:
     """Run a logged event stream through one security-engine design.
 
@@ -229,11 +437,24 @@ def replay_events(
     measured traffic. Pass 0 for a cold-counter run; the default
     (``None``) takes the depth recorded in the event log, which
     benchmark profiles set to match how iterative the workload is.
+
+    ``workers`` selects the execution strategy: 1 (the default) is the
+    serial reference path, ``None`` means one worker per CPU core, and
+    ``>= 2`` shards the log by partition across a process pool (see
+    :func:`split_event_log`). The merged result is byte-identical to
+    ``workers=1`` regardless of worker count.
     """
     if counter_warmup_passes is None:
         counter_warmup_passes = log.counter_warmup_passes
     if counter_warmup_passes < 0:
         raise ValueError("warmup passes cannot be negative")
+    n_workers = resolve_workers(workers)
+    if n_workers > 1:
+        parallel = _replay_events_parallel(
+            log, engine_factory, config, counter_warmup_passes, n_workers
+        )
+        if parallel is not None:
+            return parallel
     obs = _obs_active()
     metrics_on = obs.config.metrics_active
     interval = obs.config.interval_events if metrics_on else 0
@@ -378,6 +599,9 @@ def simulate(
     trace: Trace,
     engine_factory: EngineFactory,
     config: GpuConfig,
+    workers: "int | None" = 1,
 ) -> SimulationResult:
     """One-shot convenience: L2 pass plus engine replay."""
-    return replay_events(simulate_l2(trace, config), engine_factory, config)
+    return replay_events(
+        simulate_l2(trace, config), engine_factory, config, workers=workers
+    )

@@ -2,11 +2,17 @@
 
 Runs the requested experiments (default: all) and prints their reports.
 Useful flags: ``--length`` to control trace size, ``--benchmarks`` to
-restrict the roster.
+restrict the roster, ``--workers`` to shard engine replay across a
+process pool (default ``auto`` = one per core; ``1`` forces the serial
+reference path), ``--cache-dir`` to relocate or disable the on-disk
+trace/event-log cache.
 
 ``python -m repro.harness profile <benchmark>`` instead runs one fully
 instrumented simulation and renders the observability dashboard; see
 docs/ARCHITECTURE.md § Observability.
+
+Unknown experiment, benchmark, or engine keys exit with status 2 and a
+one-line message naming the known keys — never a traceback.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.common.errors import ReproError
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.report import render_experiment, render_profile
 from repro.harness.runner import (
@@ -25,6 +32,41 @@ from repro.obs import ObsConfig
 from repro.workloads.benchmarks import benchmark_names
 
 
+def _workers_arg(value: str):
+    """Parse ``--workers``: a positive int, or ``auto`` for one per core."""
+    if value == "auto":
+        return None
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workers must be a positive integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError("workers must be >= 1 (or 'auto')")
+    return workers
+
+
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_workers_arg, default=None, metavar="N|auto",
+        help="replay worker processes: an integer, or 'auto' for one per "
+             "CPU core (default); 1 forces the serial path",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="root of the on-disk trace/event-log cache (default: "
+             "$REPRO_CACHE_DIR or .cache; pass '' to disable)",
+    )
+
+
+def _check_known(parser: argparse.ArgumentParser, kind: str, key: str,
+                 known) -> None:
+    """Exit with a one-line parser error if *key* is not a known name."""
+    if key not in known:
+        parser.error(f"unknown {kind} {key!r}; known: {sorted(known)}")
+
+
 def profile_main(argv) -> int:
     """Parse and run the ``profile`` subcommand."""
     parser = argparse.ArgumentParser(
@@ -33,11 +75,11 @@ def profile_main(argv) -> int:
                     "observability dashboard.",
     )
     parser.add_argument(
-        "benchmark", choices=benchmark_names(),
+        "benchmark",
         help="benchmark trace to profile",
     )
     parser.add_argument(
-        "--engine", default="plutus", choices=sorted(engine_factories()),
+        "--engine", default="plutus",
         help="engine design point (default: plutus)",
     )
     parser.add_argument(
@@ -63,7 +105,10 @@ def profile_main(argv) -> int:
         "--trace-events", action="store_true",
         help="also trace every individual fill/writeback (verbose)",
     )
+    _add_execution_flags(parser)
     args = parser.parse_args(argv)
+    _check_known(parser, "benchmark", args.benchmark, benchmark_names())
+    _check_known(parser, "engine", args.engine, engine_factories())
 
     from repro.harness.profile import run_profile
 
@@ -79,6 +124,8 @@ def profile_main(argv) -> int:
         ),
         metrics_out=args.metrics_out,
         trace_out=args.trace_out,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     print(render_profile(profile))
     return 0
@@ -113,23 +160,35 @@ def main(argv=None) -> int:
         "--benchmarks",
         nargs="+",
         default=None,
-        choices=benchmark_names(),
+        metavar="BENCHMARK",
         help="restrict to a subset of the benchmark roster",
     )
+    _add_execution_flags(parser)
     args = parser.parse_args(argv)
 
     selected = args.experiments or sorted(EXPERIMENTS)
     unknown = [e for e in selected if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {unknown}")
+    for benchmark in args.benchmarks or ():
+        _check_known(parser, "benchmark", benchmark, benchmark_names())
 
     ctx = ExperimentContext(
         trace_length=args.length,
         seed=args.seed,
         benchmarks=args.benchmarks or benchmark_names(),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
-    for key in selected:
-        print(render_experiment(EXPERIMENTS[key](ctx)))
+    try:
+        for key in selected:
+            print(render_experiment(EXPERIMENTS[key](ctx)))
+    except (ReproError, KeyError) as exc:
+        # Unknown engine keys and malformed traces surface here; a clear
+        # message beats a traceback for a CLI user.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
     return 0
 
 

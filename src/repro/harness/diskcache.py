@@ -1,0 +1,187 @@
+"""Content-hashed on-disk cache for traces and DRAM event logs.
+
+The two expensive artifacts every sweep shares — generated benchmark
+traces and the event logs one L2 pass distills from them — are pure
+functions of their inputs, so they cache across *processes*, not just
+within one :class:`~repro.harness.runner.ExperimentContext`. Artifacts
+live under a cache root (default ``.cache/``) keyed by SHA-256 over
+their defining inputs:
+
+* traces: generator identity — ``(benchmark, length, seed)`` plus the
+  cache schema version;
+* event logs: *content* — the serialized trace text plus the structural
+  ``GpuConfig`` signature, so regenerating a trace differently (or
+  changing the L2 geometry) invalidates dependent logs automatically.
+
+Storage is the human-readable :mod:`repro.workloads.traceio` line
+formats; writes are atomic (temp file + rename) so concurrent runs
+never observe torn artifacts, and unreadable/corrupt entries degrade to
+cache misses. Delete the cache root, or bump :data:`SCHEMA_VERSION`
+after changing trace generators, to invalidate everything.
+
+Resolution order for the cache root: an explicit constructor/CLI path,
+else the ``REPRO_CACHE_DIR`` environment variable, else ``.cache``;
+the empty string disables disk caching entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.errors import TraceError
+from repro.workloads.trace import Trace
+from repro.workloads.traceio import (
+    dumps_event_log,
+    dumps_trace,
+    loads_event_log,
+    loads_trace,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.gpu.config import GpuConfig
+    from repro.gpu.simulator import MemoryEventLog
+
+#: Bump when trace generators or on-disk formats change shape: the
+#: version salts every key, so stale artifacts are simply never hit.
+SCHEMA_VERSION = "1"
+
+#: Environment variable naming the cache root ("" disables caching).
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".cache"
+
+
+def resolve_cache_dir(spec: Optional[str] = None) -> Optional[str]:
+    """Resolve a cache-root spec: explicit path > env var > default.
+
+    Returns ``None`` when caching is disabled (empty-string spec or
+    ``REPRO_CACHE_DIR=""``).
+    """
+    if spec is None:
+        spec = os.environ.get(ENV_CACHE_DIR, DEFAULT_CACHE_DIR)
+    return spec or None
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x1f")
+    return h.hexdigest()[:32]
+
+
+class DiskCache:
+    """One cache root holding trace and event-log artifacts."""
+
+    def __init__(self, root: str) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @classmethod
+    def from_spec(cls, spec: Optional[str] = None) -> Optional["DiskCache"]:
+        """Build a cache from a root spec, or ``None`` when disabled."""
+        resolved = resolve_cache_dir(spec)
+        return cls(resolved) if resolved else None
+
+    # -- keys ----------------------------------------------------------------
+
+    @staticmethod
+    def trace_key(benchmark: str, length: int, seed: int) -> str:
+        """Key for a generated benchmark trace (generator identity)."""
+        return _digest(
+            "trace", SCHEMA_VERSION, benchmark, str(length), str(seed)
+        )
+
+    @staticmethod
+    def event_log_key(trace: Trace, config: "GpuConfig") -> str:
+        """Key for the event log of one (trace, GPU config) L2 pass.
+
+        Hashes the trace *content* (its full serialized text), so any
+        change in how a trace is produced propagates to dependent logs
+        without bookkeeping. ``GpuConfig`` is a frozen dataclass tree;
+        its repr is a complete structural signature.
+        """
+        return _digest(
+            "eventlog", SCHEMA_VERSION, dumps_trace(trace), repr(config)
+        )
+
+    # -- storage -------------------------------------------------------------
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / f"{kind}-{key}.txt"
+
+    def _read(self, path: Path) -> Optional[str]:
+        try:
+            return path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+
+    def _write_atomic(self, path: Path, text: str) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=path.stem, suffix=".tmp", dir=str(self.root)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def _discard(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- traces --------------------------------------------------------------
+
+    def load_trace(self, key: str) -> Optional[Trace]:
+        path = self._path("trace", key)
+        text = self._read(path)
+        if text is None:
+            self.misses += 1
+            return None
+        try:
+            trace = loads_trace(text)
+        except TraceError:
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def store_trace(self, key: str, trace: Trace) -> None:
+        self._write_atomic(self._path("trace", key), dumps_trace(trace))
+
+    # -- event logs ----------------------------------------------------------
+
+    def load_event_log(self, key: str) -> Optional["MemoryEventLog"]:
+        path = self._path("events", key)
+        text = self._read(path)
+        if text is None:
+            self.misses += 1
+            return None
+        try:
+            log = loads_event_log(text)
+        except TraceError:
+            self._discard(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return log
+
+    def store_event_log(self, key: str, log: "MemoryEventLog") -> None:
+        self._write_atomic(self._path("events", key), dumps_event_log(log))

@@ -60,8 +60,15 @@ def run_profile(
     obs: Optional[ObsConfig] = None,
     metrics_out: Optional[str] = None,
     trace_out: Optional[str] = None,
+    workers: "int | None" = 1,
+    cache_dir: Optional[str] = None,
 ) -> ProfileResult:
-    """Run one fully instrumented simulation and export its artifacts."""
+    """Run one fully instrumented simulation and export its artifacts.
+
+    ``workers`` follows :func:`repro.gpu.simulator.replay_events`
+    semantics (1 = serial, ``None`` = auto, >= 2 = sharded replay whose
+    worker metrics are merged back into this session's registry).
+    """
     if obs is None:
         obs = ObsConfig(enabled=True)
     elif not obs.enabled:
@@ -72,6 +79,8 @@ def run_profile(
         seed=seed,
         benchmarks=[benchmark],
         obs=obs,
+        workers=workers,
+        cache_dir=cache_dir,
     )
     result = ctx.run(benchmark, engine_key)
     profile = ProfileResult(

@@ -3,20 +3,26 @@
 All figure reproductions share the same expensive artifacts: benchmark
 traces, their L2 event logs (one pass per trace regardless of how many
 engines are compared), and per-engine simulation results. The
-:class:`ExperimentContext` memoizes all three, so running the full
-figure suite costs one L2 pass and one engine replay per (trace,
-engine) pair.
+:class:`ExperimentContext` memoizes traces and logs twice — in memory
+for the lifetime of one context, and content-hashed on disk (see
+:mod:`repro.harness.diskcache`) so repeated sweeps across processes
+skip trace generation and ``simulate_l2`` entirely. Replay results stay
+in-memory only: they are cheap relative to the L2 pass and depend on
+the engine design under study.
 
 Engine design points are addressed by *keys* (e.g. ``"plutus"``,
 ``"pssm"``, ``"plutus:gran32"``) so experiments stay declarative and
-results cache across figures.
+results cache across figures. Every named factory is an
+:class:`EngineSpec` — a picklable (class, kwargs) pair — so the same
+key drives serial replay and the partition-sharded process pool
+(``workers >= 2``) interchangeably.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Type
 
 from repro.gpu.config import VOLTA, GpuConfig
 from repro.gpu.simulator import (
@@ -26,6 +32,8 @@ from repro.gpu.simulator import (
     replay_events,
     simulate_l2,
 )
+from repro.harness.diskcache import DiskCache
+from repro.mem.traffic import TrafficCounter
 from repro.metadata.compact import (
     DESIGN_2BIT,
     DESIGN_3BIT,
@@ -34,7 +42,7 @@ from repro.metadata.compact import (
 from repro.metadata.layout import GranularityDesign
 from repro.obs import ObsConfig, ObsSession, activate
 from repro.secure.common_counters import CommonCountersEngine
-from repro.secure.engine import NoSecurityEngine
+from repro.secure.engine import NoSecurityEngine, PartitionEngine
 from repro.secure.plutus import PlutusEngine
 from repro.secure.pssm import PssmEngine
 from repro.secure.value_cache import ValueCacheConfig
@@ -46,17 +54,49 @@ from repro.workloads.trace import Trace
 DEFAULT_TRACE_LENGTH = int(os.environ.get("REPRO_TRACE_LEN", "30000"))
 
 
+class EngineSpec:
+    """A picklable engine factory: a design class plus constructor kwargs.
+
+    Parallel replay ships factories into worker processes; lambdas
+    cannot cross that boundary, specs can. Calling a spec builds one
+    partition's engine exactly like the closures it replaces.
+    """
+
+    __slots__ = ("engine_cls", "kwargs")
+
+    def __init__(self, engine_cls: Type[PartitionEngine], **kwargs) -> None:
+        self.engine_cls = engine_cls
+        self.kwargs = kwargs
+
+    def __call__(
+        self,
+        partition_id: int,
+        data_sectors: int,
+        traffic: TrafficCounter,
+    ) -> PartitionEngine:
+        return self.engine_cls(
+            partition_id, data_sectors, traffic, **self.kwargs
+        )
+
+    def __repr__(self) -> str:
+        kwargs = ", ".join(
+            f"{k}={v!r}" for k, v in sorted(self.kwargs.items())
+        )
+        suffix = f", {kwargs}" if kwargs else ""
+        return f"EngineSpec({self.engine_cls.__name__}{suffix})"
+
+
 def engine_factories() -> Dict[str, EngineFactory]:
     """The named design points every experiment draws from."""
 
-    def plutus_variant(**kwargs) -> EngineFactory:
-        return lambda p, s, t: PlutusEngine(p, s, t, **kwargs)
+    def plutus_variant(**kwargs) -> EngineSpec:
+        return EngineSpec(PlutusEngine, **kwargs)
 
     factories: Dict[str, EngineFactory] = {
-        "nosec": lambda p, s, t: NoSecurityEngine(p, s, t),
-        "pssm": lambda p, s, t: PssmEngine(p, s, t),
-        "pssm:4B-mac": lambda p, s, t: PssmEngine(p, s, t, mac_tag_bytes=4),
-        "common-counters": lambda p, s, t: CommonCountersEngine(p, s, t),
+        "nosec": EngineSpec(NoSecurityEngine),
+        "pssm": EngineSpec(PssmEngine),
+        "pssm:4B-mac": EngineSpec(PssmEngine, mac_tag_bytes=4),
+        "common-counters": EngineSpec(CommonCountersEngine),
         "plutus": plutus_variant(),
         # Fig. 15: value verification alone on the PSSM organization.
         "plutus:value-only": plutus_variant(
@@ -103,7 +143,7 @@ def engine_factories() -> Dict[str, EngineFactory]:
             eliminate_tree=True,
         ),
         # Ablations.
-        "pssm:eager": lambda p, s, t: PssmEngine(p, s, t, lazy_update=False),
+        "pssm:eager": EngineSpec(PssmEngine, lazy_update=False),
     }
     for entries in (64, 128, 256, 512, 1024):
         factories[f"plutus:vcache-{entries}"] = plutus_variant(
@@ -130,6 +170,12 @@ class ExperimentContext:
     tracer accumulate across runs (the ``profile`` subcommand drives a
     single run and exports them). The default config is disabled and
     changes nothing.
+
+    ``workers`` selects the replay strategy (1 = serial reference path,
+    ``None`` = one worker per core, >= 2 = partition-sharded process
+    pool); results are byte-identical either way. ``cache_dir`` names
+    the disk-cache root (``None`` = resolve from ``REPRO_CACHE_DIR``,
+    default ``.cache``; empty string disables disk caching).
     """
 
     config: GpuConfig = VOLTA
@@ -137,6 +183,8 @@ class ExperimentContext:
     seed: int = 2023
     benchmarks: List[str] = field(default_factory=benchmark_names)
     obs: ObsConfig = field(default_factory=ObsConfig)
+    workers: Optional[int] = 1
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         self._traces: Dict[str, Trace] = {}
@@ -144,20 +192,62 @@ class ExperimentContext:
         self._results: Dict[str, SimulationResult] = {}
         self.factories = engine_factories()
         self.obs_session = ObsSession(self.obs)
+        self.disk_cache = DiskCache.from_spec(self.cache_dir)
 
     def trace(self, benchmark: str) -> Trace:
         if benchmark not in self._traces:
-            with self.obs_session.phase("build_trace", benchmark=benchmark):
-                self._traces[benchmark] = build_trace(
-                    benchmark, length=self.trace_length, seed=self.seed
+            trace = None
+            key = None
+            if self.disk_cache is not None:
+                key = DiskCache.trace_key(
+                    benchmark, self.trace_length, self.seed
                 )
+                trace = self.disk_cache.load_trace(key)
+            if trace is None:
+                with self.obs_session.phase("build_trace", benchmark=benchmark):
+                    trace = build_trace(
+                        benchmark, length=self.trace_length, seed=self.seed
+                    )
+                if self.disk_cache is not None and key is not None:
+                    self.disk_cache.store_trace(key, trace)
+            else:
+                # A disk-cache hit skips trace generation; emit the phase
+                # (near-zero, tagged cached) so metrics stay complete.
+                with self.obs_session.phase(
+                    "build_trace", benchmark=benchmark, cached=True
+                ):
+                    pass
+            self._traces[benchmark] = trace
         return self._traces[benchmark]
 
     def event_log(self, benchmark: str) -> MemoryEventLog:
         if benchmark not in self._logs:
             trace = self.trace(benchmark)
-            with activate(self.obs_session):
-                self._logs[benchmark] = simulate_l2(trace, self.config)
+            log = None
+            key = None
+            if self.disk_cache is not None:
+                key = DiskCache.event_log_key(trace, self.config)
+                log = self.disk_cache.load_event_log(key)
+            if log is None:
+                with activate(self.obs_session):
+                    log = simulate_l2(trace, self.config)
+                if self.disk_cache is not None and key is not None:
+                    self.disk_cache.store_event_log(key, log)
+            else:
+                # A cache hit skips simulate_l2, so restore the phase span
+                # and gauges the live pass would have set for the profile
+                # dashboard.
+                with self.obs_session.phase(
+                    "simulate_l2", trace=trace.name, cached=True
+                ):
+                    pass
+                if self.obs.metrics_active:
+                    registry = self.obs_session.registry
+                    registry.gauge("l2.sector_hit_rate").set(
+                        log.l2_stats.sector_hit_rate
+                    )
+                    registry.gauge("l2.dram_events").set(len(log.events))
+            self._logs[benchmark] = log
         return self._logs[benchmark]
 
     def run(self, benchmark: str, engine_key: str) -> SimulationResult:
@@ -173,7 +263,7 @@ class ExperimentContext:
             log = self.event_log(benchmark)
             with activate(self.obs_session):
                 self._results[cache_key] = replay_events(
-                    log, factory, self.config
+                    log, factory, self.config, workers=self.workers
                 )
         return self._results[cache_key]
 
@@ -189,6 +279,6 @@ class ExperimentContext:
             log = self.event_log(benchmark)
             with activate(self.obs_session):
                 self._results[cache_key] = replay_events(
-                    log, factory, self.config
+                    log, factory, self.config, workers=self.workers
                 )
         return self._results[cache_key]

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.gpu.config import GpuConfig, VOLTA
 from repro.gpu.perf_model import normalized_ipc, slowdown_vs_baseline
 from repro.gpu.simulator import replay_events, simulate_l2
-from repro.harness.runner import ExperimentContext
+from repro.harness.runner import EngineSpec, ExperimentContext
 from repro.secure.engine import MetadataCacheConfig, NoSecurityEngine
 from repro.secure.plutus import PlutusEngine
 from repro.secure.pssm import PssmEngine
@@ -35,18 +35,26 @@ from repro.workloads.benchmarks import build_trace
 
 
 def _speedup_for_trace(trace, config: GpuConfig = VOLTA,
-                       cache_config: Optional[MetadataCacheConfig] = None):
-    """(pssm_ipc, plutus_ipc, speedup) for one prepared trace."""
+                       cache_config: Optional[MetadataCacheConfig] = None,
+                       workers: "int | None" = 1):
+    """(pssm_ipc, plutus_ipc, speedup) for one prepared trace.
+
+    Factories are picklable :class:`EngineSpec` instances, so sweeps
+    can shard their replays across worker processes (``workers``
+    follows :func:`repro.gpu.simulator.replay_events` semantics).
+    """
     log = simulate_l2(trace, config)
     kwargs = {}
     if cache_config is not None:
         kwargs["cache_config"] = cache_config
-    base = replay_events(log, lambda p, s, t: NoSecurityEngine(p, s, t), config)
+    base = replay_events(
+        log, EngineSpec(NoSecurityEngine), config, workers=workers
+    )
     pssm = replay_events(
-        log, lambda p, s, t: PssmEngine(p, s, t, **kwargs), config
+        log, EngineSpec(PssmEngine, **kwargs), config, workers=workers
     )
     plutus = replay_events(
-        log, lambda p, s, t: PlutusEngine(p, s, t, **kwargs), config
+        log, EngineSpec(PlutusEngine, **kwargs), config, workers=workers
     )
     pssm_ipc = normalized_ipc(pssm, base)
     plutus_ipc = normalized_ipc(plutus, base)
@@ -57,12 +65,13 @@ def sweep_seeds(
     benchmark: str,
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     trace_length: int = 8000,
+    workers: "int | None" = 1,
 ) -> List[Dict[str, object]]:
     """Plutus-vs-PSSM speedup across trace-generation seeds."""
     rows: List[Dict[str, object]] = []
     for seed in seeds:
         trace = build_trace(benchmark, length=trace_length, seed=seed)
-        pssm, plutus, speedup = _speedup_for_trace(trace)
+        pssm, plutus, speedup = _speedup_for_trace(trace, workers=workers)
         rows.append(
             {
                 "seed": seed,
@@ -78,12 +87,13 @@ def sweep_trace_length(
     benchmark: str,
     lengths: Sequence[int] = (2000, 4000, 8000, 16000),
     seed: int = 2023,
+    workers: "int | None" = 1,
 ) -> List[Dict[str, object]]:
     """Window-size convergence of the headline speedup."""
     rows: List[Dict[str, object]] = []
     for length in lengths:
         trace = build_trace(benchmark, length=length, seed=seed)
-        _pssm, _plutus, speedup = _speedup_for_trace(trace)
+        _pssm, _plutus, speedup = _speedup_for_trace(trace, workers=workers)
         rows.append({"length": length, "speedup": speedup})
     return rows
 
@@ -93,6 +103,7 @@ def sweep_metadata_cache(
     sizes: Sequence[int] = (1024, 2048, 4096, 8192),
     trace_length: int = 8000,
     seed: int = 2023,
+    workers: "int | None" = 1,
 ) -> List[Dict[str, object]]:
     """Sensitivity to the per-partition metadata cache budget."""
     trace = build_trace(benchmark, length=trace_length, seed=seed)
@@ -100,7 +111,7 @@ def sweep_metadata_cache(
     for size in sizes:
         cache_config = MetadataCacheConfig(size_bytes=size)
         pssm, plutus, speedup = _speedup_for_trace(
-            trace, cache_config=cache_config
+            trace, cache_config=cache_config, workers=workers
         )
         rows.append(
             {
@@ -151,6 +162,7 @@ def sweep_partitions(
     partition_counts: Sequence[int] = (8, 16, 32),
     trace_length: int = 6000,
     seed: int = 2023,
+    workers: "int | None" = 1,
 ) -> List[Dict[str, object]]:
     """Scalability across memory-partition counts.
 
@@ -165,6 +177,8 @@ def sweep_partitions(
             address_map=replace(VOLTA.address_map, num_partitions=count),
             dram=replace(VOLTA.dram, num_partitions=count),
         )
-        _pssm, _plutus, speedup = _speedup_for_trace(trace, config=config)
+        _pssm, _plutus, speedup = _speedup_for_trace(
+            trace, config=config, workers=workers
+        )
         rows.append({"partitions": count, "speedup": speedup})
     return rows

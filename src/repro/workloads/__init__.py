@@ -15,9 +15,13 @@ from repro.workloads.patterns import PATTERNS, PatternResult, generate
 from repro.workloads.stats import TraceStats, characterize, rw_breakdown
 from repro.workloads.trace import Trace, TraceAccess
 from repro.workloads.traceio import (
+    dump_event_log,
     dump_trace,
+    dumps_event_log,
     dumps_trace,
+    load_event_log,
     load_trace,
+    loads_event_log,
     loads_trace,
     merge_traces,
 )
@@ -45,9 +49,13 @@ __all__ = [
     "build_all_traces",
     "build_trace",
     "characterize",
+    "dump_event_log",
     "dump_trace",
+    "dumps_event_log",
     "dumps_trace",
+    "load_event_log",
     "load_trace",
+    "loads_event_log",
     "loads_trace",
     "merge_traces",
     "generate",

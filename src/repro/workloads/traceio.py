@@ -15,17 +15,28 @@ them still drive every non-value mechanism.
 Comment lines start with ``#``; a header comment carries the trace
 name, memory intensity, and warmup depth so a round-trip preserves the
 profile facts the simulator needs.
+
+The module also serializes :class:`~repro.gpu.simulator.MemoryEventLog`
+— the DRAM-side event stream distilled from one L2 pass — in a sibling
+line format (``F``/``W`` partition sector image), so the disk cache can
+skip ``simulate_l2`` entirely on repeated sweeps. Round-trips are
+exact: replaying a reloaded log is byte-identical to replaying the
+original.
 """
 
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, TextIO, Tuple, Union
+from typing import TYPE_CHECKING, Iterable, List, TextIO, Tuple, Union
 
 from repro.common.errors import TraceError
 from repro.workloads.trace import Trace, TraceAccess
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (gpu -> workloads)
+    from repro.gpu.simulator import MemoryEventLog
+
 _HEADER_PREFIX = "#repro-trace"
+_EVENTS_HEADER_PREFIX = "#repro-events"
 
 
 def dump_trace(trace: Trace, fp: TextIO) -> None:
@@ -56,12 +67,16 @@ def dumps_trace(trace: Trace) -> str:
     return buffer.getvalue()
 
 
-def _parse_header(line: str) -> dict:
+def _parse_header_fields(body: str) -> dict:
     fields = {}
-    for token in line[len(_HEADER_PREFIX):].split():
+    for token in body.split():
         key, _, value = token.partition("=")
         fields[key] = value
     return fields
+
+
+def _parse_header(line: str) -> dict:
+    return _parse_header_fields(line[len(_HEADER_PREFIX):])
 
 
 def _parse_access(line_no: int, tokens: List[str]) -> TraceAccess:
@@ -139,6 +154,120 @@ def load_trace(fp: TextIO, name: str = "imported") -> Trace:
 def loads_trace(text: str, name: str = "imported") -> Trace:
     """Parse a trace from a string."""
     return load_trace(io.StringIO(text), name=name)
+
+
+def dump_event_log(log: "MemoryEventLog", fp: TextIO) -> None:
+    """Serialize a DRAM-side event log to a text stream.
+
+    One event per line — ``F``/``W`` (fill/writeback), partition,
+    partition-local sector index, then the 32-byte sector image as hex
+    (or ``-`` when the event carried no value). The header records the
+    trace profile and the L2 statistics of the pass that produced the
+    log, so a reload feeds the replay engine exactly what the live pass
+    did.
+    """
+    from repro.gpu.simulator import EventKind
+
+    if any(ch.isspace() for ch in log.trace_name):
+        raise TraceError("trace name cannot contain whitespace")
+    stats = log.l2_stats
+    fp.write(
+        f"{_EVENTS_HEADER_PREFIX} name={log.trace_name} "
+        f"intensity={log.memory_intensity!r} "
+        f"instructions={log.instructions} "
+        f"warmup={log.counter_warmup_passes} "
+        f"l2_accesses={stats.accesses} "
+        f"l2_hits={stats.sector_hits} "
+        f"l2_misses={stats.sector_misses}\n"
+    )
+    for event in log.events:
+        kind = "F" if event.kind is EventKind.FILL else "W"
+        image = event.values.hex() if event.values is not None else "-"
+        fp.write(f"{kind} {event.partition} {event.sector_index} {image}\n")
+
+
+def dumps_event_log(log: "MemoryEventLog") -> str:
+    """Serialize an event log to a string."""
+    buffer = io.StringIO()
+    dump_event_log(log, buffer)
+    return buffer.getvalue()
+
+
+def load_event_log(fp: TextIO, name: str = "imported") -> "MemoryEventLog":
+    """Parse an event log from a text stream."""
+    from repro.gpu.simulator import EventKind, MemoryEvent, MemoryEventLog
+
+    log = MemoryEventLog(
+        trace_name=name, memory_intensity=0.8, instructions=0
+    )
+    saw_header = False
+    for line_no, raw in enumerate(fp, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(_EVENTS_HEADER_PREFIX):
+            header = _parse_header_fields(line[len(_EVENTS_HEADER_PREFIX):])
+            try:
+                log.trace_name = header.get("name", name)
+                log.memory_intensity = float(
+                    header.get("intensity", log.memory_intensity)
+                )
+                log.instructions = int(
+                    header.get("instructions", log.instructions)
+                )
+                log.counter_warmup_passes = int(
+                    header.get("warmup", log.counter_warmup_passes)
+                )
+                log.l2_stats.accesses = int(header.get("l2_accesses", 0))
+                log.l2_stats.sector_hits = int(header.get("l2_hits", 0))
+                log.l2_stats.sector_misses = int(header.get("l2_misses", 0))
+            except ValueError as exc:
+                raise TraceError(f"line {line_no}: bad header: {exc}") from None
+            saw_header = True
+            continue
+        if line.startswith("#"):
+            continue
+        tokens = line.split()
+        if len(tokens) != 4:
+            raise TraceError(
+                f"line {line_no}: expected 'F/W partition sector image'"
+            )
+        kind_token, partition_token, sector_token, image_token = tokens
+        if kind_token not in ("F", "W"):
+            raise TraceError(f"line {line_no}: event kind must be F or W")
+        try:
+            partition = int(partition_token)
+            sector = int(sector_token)
+        except ValueError as exc:
+            raise TraceError(f"line {line_no}: {exc}") from None
+        if partition < 0 or sector < 0:
+            raise TraceError(f"line {line_no}: negative partition or sector")
+        values = None
+        if image_token != "-":
+            try:
+                values = bytes.fromhex(image_token)
+            except ValueError:
+                raise TraceError(
+                    f"line {line_no}: bad hex sector image"
+                ) from None
+            if len(values) != 32:
+                raise TraceError(
+                    f"line {line_no}: sector image must be 32 bytes"
+                )
+        kind = EventKind.FILL if kind_token == "F" else EventKind.WRITEBACK
+        log.events.append(MemoryEvent(kind, partition, sector, values))
+        if kind is EventKind.FILL:
+            log.fill_sectors += 1
+        else:
+            log.writeback_sectors += 1
+    if not saw_header:
+        raise TraceError("event-log file is missing its header line")
+    return log
+
+
+def loads_event_log(text: str, name: str = "imported") -> "MemoryEventLog":
+    """Parse an event log from a string."""
+    return load_event_log(io.StringIO(text), name=name)
 
 
 def merge_traces(traces: Iterable[Trace], name: str = "merged") -> Trace:

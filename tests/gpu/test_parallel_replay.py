@@ -1,0 +1,159 @@
+"""Parallel replay must be byte-identical to the serial reference path.
+
+The sharded executor (``replay_events(..., workers=N)``) splits the
+event log by memory partition, replays each shard in a worker process,
+and merges the per-partition results in partition order. Because PSSM
+metadata addressing is partition-local, no event crosses a shard
+boundary, so the merge is a pure integer sum — every statistic must
+match the serial path exactly, not approximately.
+"""
+
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.config import VOLTA
+from repro.gpu.simulator import (
+    replay_events,
+    resolve_workers,
+    simulate_l2,
+    split_event_log,
+)
+from repro.harness.runner import EngineSpec, engine_factories
+from repro.secure.pssm import PssmEngine
+from repro.workloads.trace import Trace, TraceAccess
+
+#: The design points the equivalence sweep covers: the three headline
+#: engines plus one exercising value verification and one exercising
+#: compact counters, so every merge-sensitive stat field is non-trivial.
+EQUIVALENCE_ENGINES = [
+    "nosec",
+    "pssm",
+    "common-counters",
+    "plutus",
+    "compact:adaptive",
+]
+
+
+def _result_tuple(result):
+    """Every observable field of a SimulationResult, for exact compare."""
+    return (
+        result.engine_name,
+        result.trace_name,
+        result.memory_intensity,
+        result.instructions,
+        result.traffic,
+        result.engine_stats,
+        result.l2_stats,
+    )
+
+
+class TestParallelEquivalence:
+    @pytest.mark.parametrize("engine_key", EQUIVALENCE_ENGINES)
+    @pytest.mark.parametrize("log_fixture", ["bfs_log", "lbm_log"])
+    def test_workers_match_serial(self, request, log_fixture, engine_key):
+        log = request.getfixturevalue(log_fixture)
+        factory = engine_factories()[engine_key]
+        serial = replay_events(log, factory, VOLTA, workers=1)
+        parallel = replay_events(log, factory, VOLTA, workers=2)
+        assert _result_tuple(parallel) == _result_tuple(serial)
+
+    @pytest.mark.parametrize("log_fixture", ["bfs_log", "lbm_log"])
+    def test_forgery_outcomes_match_serial(self, request, log_fixture):
+        """The security verdict, not just traffic, must be identical."""
+        log = request.getfixturevalue(log_fixture)
+        factory = engine_factories()["plutus"]
+        serial = replay_events(log, factory, VOLTA, workers=1)
+        parallel = replay_events(log, factory, VOLTA, workers=2)
+        for field in ("value_verified_fills", "value_check_failures"):
+            assert getattr(parallel.engine_stats, field) == getattr(
+                serial.engine_stats, field
+            )
+
+    def test_worker_count_beyond_shards_is_safe(self, bfs_log):
+        factory = engine_factories()["pssm"]
+        serial = replay_events(bfs_log, factory, VOLTA, workers=1)
+        wide = replay_events(bfs_log, factory, VOLTA, workers=64)
+        assert _result_tuple(wide) == _result_tuple(serial)
+
+    def test_unpicklable_factory_falls_back_to_serial(self, bfs_log):
+        factory = lambda p, s, t: PssmEngine(p, s, t)  # noqa: E731
+        reference = replay_events(bfs_log, factory, VOLTA, workers=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            fallback = replay_events(bfs_log, factory, VOLTA, workers=2)
+        assert any(
+            issubclass(w.category, RuntimeWarning) for w in caught
+        )
+        assert _result_tuple(fallback) == _result_tuple(reference)
+
+
+class TestShardSplit:
+    def test_shards_partition_the_log(self, bfs_log):
+        shards = split_event_log(bfs_log)
+        assert sum(len(s.events) for s in shards.values()) == len(
+            bfs_log.events
+        )
+        assert sum(s.fill_sectors for s in shards.values()) == (
+            bfs_log.fill_sectors
+        )
+        assert sum(s.writeback_sectors for s in shards.values()) == (
+            bfs_log.writeback_sectors
+        )
+        for partition, shard in shards.items():
+            assert all(e.partition == partition for e in shard.events)
+
+    def test_shards_preserve_event_order(self, bfs_log):
+        shards = split_event_log(bfs_log)
+        for partition, shard in shards.items():
+            expected = [
+                e for e in bfs_log.events if e.partition == partition
+            ]
+            assert shard.events == expected
+
+
+class TestResolveWorkers:
+    def test_auto_uses_at_least_one(self):
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    data=st.data(),
+)
+def test_random_traces_replay_identically(seed, data):
+    """Property: serial and sharded replay agree on arbitrary traces."""
+    n = data.draw(st.integers(min_value=1, max_value=40))
+    accesses = [
+        TraceAccess(
+            line_addr=data.draw(
+                st.integers(min_value=0, max_value=1 << 14)
+            )
+            * 128,
+            sector_mask=data.draw(st.integers(min_value=1, max_value=15)),
+            write=data.draw(st.booleans()),
+        )
+        for _ in range(n)
+    ]
+    trace = Trace(
+        name=f"prop-{seed}", accesses=accesses, memory_intensity=0.5
+    )
+    log = simulate_l2(trace, VOLTA)
+    factory = EngineSpec(PssmEngine)
+    serial = replay_events(log, factory, VOLTA, workers=1)
+    parallel = replay_events(log, factory, VOLTA, workers=2)
+    assert _result_tuple(parallel) == _result_tuple(serial)

@@ -33,3 +33,68 @@ class TestCli:
         out = capsys.readouterr().out
         assert "lbm" in out
         assert "bfs" not in out
+
+    def test_unknown_benchmark_message_names_known(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["eq1", "--benchmarks", "doom"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark 'doom'" in err
+        assert "bfs" in err  # message lists the known roster
+        assert "Traceback" not in err
+
+    def test_unknown_engine_exits_cleanly(self, capsys):
+        """Engine errors inside experiments surface as messages, not
+        tracebacks."""
+        from repro.harness.experiments import EXPERIMENTS
+        from repro.harness.runner import ExperimentContext
+
+        def bad_experiment(ctx: ExperimentContext):
+            return ctx.run("bfs", "not-an-engine")
+
+        EXPERIMENTS["badkey-test"] = bad_experiment
+        try:
+            rc = main(["badkey-test", "--length", "300"])
+        finally:
+            del EXPERIMENTS["badkey-test"]
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "not-an-engine" in err
+        assert "Traceback" not in err
+
+    def test_workers_flag_accepts_auto_and_ints(self, capsys):
+        rc = main(["eq1", "--length", "300", "--benchmarks", "bfs",
+                   "--workers", "auto"])
+        assert rc == 0
+        rc = main(["eq1", "--length", "300", "--benchmarks", "bfs",
+                   "--workers", "1"])
+        assert rc == 0
+
+    def test_workers_flag_rejects_garbage(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["eq1", "--workers", "zero"])
+        assert excinfo.value.code == 2
+        with pytest.raises(SystemExit):
+            main(["eq1", "--workers", "0"])
+
+
+class TestProfileCli:
+    def test_unknown_benchmark_rejected(self, capsys):
+        from repro.harness.__main__ import profile_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            profile_main(["doom"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark 'doom'" in err
+
+    def test_unknown_engine_rejected(self, capsys):
+        from repro.harness.__main__ import profile_main
+
+        with pytest.raises(SystemExit) as excinfo:
+            profile_main(["bfs", "--engine", "fort-knox"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown engine 'fort-knox'" in err
+        assert "plutus" in err

@@ -1,0 +1,120 @@
+"""Tests for the content-hashed on-disk trace/event-log cache."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.config import VOLTA
+from repro.gpu.simulator import simulate_l2
+from repro.harness.diskcache import DiskCache, resolve_cache_dir
+from repro.harness.runner import ExperimentContext
+from repro.workloads.benchmarks import build_trace
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return DiskCache(str(tmp_path / "cache"))
+
+
+class TestResolution:
+    def test_explicit_path_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/elsewhere")
+        assert resolve_cache_dir("/explicit") == "/explicit"
+
+    def test_env_var_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/from-env")
+        assert resolve_cache_dir(None) == "/from-env"
+
+    def test_default_is_dot_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache_dir(None) == ".cache"
+
+    def test_empty_string_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", "")
+        assert resolve_cache_dir(None) is None
+        assert resolve_cache_dir("") is None
+        assert DiskCache.from_spec("") is None
+
+
+class TestTraceCache:
+    def test_miss_then_hit_roundtrip(self, cache):
+        trace = build_trace("bfs", length=60, seed=3)
+        key = DiskCache.trace_key("bfs", 60, 3)
+        assert cache.load_trace(key) is None
+        cache.store_trace(key, trace)
+        recovered = cache.load_trace(key)
+        assert recovered is not None
+        assert recovered.name == trace.name
+        assert len(recovered) == len(trace)
+        assert cache.misses == 1 and cache.hits == 1 and cache.stores == 1
+
+    def test_key_depends_on_every_input(self):
+        base = DiskCache.trace_key("bfs", 60, 3)
+        assert DiskCache.trace_key("lbm", 60, 3) != base
+        assert DiskCache.trace_key("bfs", 61, 3) != base
+        assert DiskCache.trace_key("bfs", 60, 4) != base
+
+    def test_corrupt_entry_degrades_to_miss(self, cache):
+        trace = build_trace("bfs", length=60, seed=3)
+        key = DiskCache.trace_key("bfs", 60, 3)
+        cache.store_trace(key, trace)
+        path = cache._path("trace", key)
+        path.write_text("#repro-trace v1 garbage\nnot a record\n")
+        assert cache.load_trace(key) is None
+        assert not path.exists()  # corrupt artifact evicted
+
+
+class TestEventLogCache:
+    def test_roundtrip_preserves_replay_inputs(self, cache):
+        trace = build_trace("lbm", length=80, seed=5)
+        log = simulate_l2(trace, VOLTA)
+        key = DiskCache.event_log_key(trace, VOLTA)
+        assert cache.load_event_log(key) is None
+        cache.store_event_log(key, log)
+        recovered = cache.load_event_log(key)
+        assert recovered is not None
+        assert recovered.trace_name == log.trace_name
+        assert recovered.memory_intensity == log.memory_intensity
+        assert recovered.instructions == log.instructions
+        assert recovered.counter_warmup_passes == log.counter_warmup_passes
+        assert recovered.fill_sectors == log.fill_sectors
+        assert recovered.writeback_sectors == log.writeback_sectors
+        assert recovered.l2_stats == log.l2_stats
+        # MemoryEvent compares by identity, so compare fields.
+        assert [
+            (e.kind, e.partition, e.sector_index, e.values)
+            for e in recovered.events
+        ] == [
+            (e.kind, e.partition, e.sector_index, e.values)
+            for e in log.events
+        ]
+
+    def test_key_tracks_trace_content_and_config(self):
+        trace_a = build_trace("bfs", length=60, seed=3)
+        trace_b = build_trace("bfs", length=60, seed=4)
+        key = DiskCache.event_log_key(trace_a, VOLTA)
+        assert DiskCache.event_log_key(trace_b, VOLTA) != key
+        smaller_l2 = dataclasses.replace(
+            VOLTA,
+            l2=dataclasses.replace(VOLTA.l2, size_bytes=VOLTA.l2.size_bytes // 2),
+        )
+        assert DiskCache.event_log_key(trace_a, smaller_l2) != key
+
+
+class TestContextIntegration:
+    def test_second_context_skips_simulation(self, tmp_path):
+        root = str(tmp_path / "ctx-cache")
+        first = ExperimentContext(trace_length=200, cache_dir=root)
+        cold = first.run("bfs", "pssm")
+        assert first.disk_cache.stores == 2  # trace + event log
+        second = ExperimentContext(trace_length=200, cache_dir=root)
+        warm = second.run("bfs", "pssm")
+        assert second.disk_cache.hits == 2
+        assert second.disk_cache.stores == 0
+        assert warm == cold
+
+    def test_disabled_cache_still_runs(self):
+        ctx = ExperimentContext(trace_length=150, cache_dir="")
+        assert ctx.disk_cache is None
+        result = ctx.run("bfs", "nosec")
+        assert result.total_bytes > 0

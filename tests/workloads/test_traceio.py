@@ -116,3 +116,117 @@ class TestMerge:
     def test_merge_nothing_rejected(self):
         with pytest.raises(TraceError):
             merge_traces([])
+
+
+class TestEventLogRoundtrip:
+    def _log(self, benchmark="bfs", length=120, seed=6):
+        from repro.gpu.config import VOLTA
+        from repro.gpu.simulator import simulate_l2
+
+        return simulate_l2(build_trace(benchmark, length=length, seed=seed),
+                           VOLTA)
+
+    def test_full_roundtrip_preserves_everything(self):
+        from repro.workloads.traceio import dumps_event_log, loads_event_log
+
+        original = self._log()
+        recovered = loads_event_log(dumps_event_log(original))
+        assert recovered.trace_name == original.trace_name
+        assert recovered.memory_intensity == original.memory_intensity
+        assert recovered.instructions == original.instructions
+        assert recovered.counter_warmup_passes == (
+            original.counter_warmup_passes
+        )
+        assert recovered.fill_sectors == original.fill_sectors
+        assert recovered.writeback_sectors == original.writeback_sectors
+        assert recovered.l2_stats == original.l2_stats
+        assert len(recovered.events) == len(original.events)
+        for a, b in zip(original.events, recovered.events):
+            assert (a.kind, a.partition, a.sector_index, a.values) == (
+                b.kind, b.partition, b.sector_index, b.values
+            )
+
+    def test_roundtrip_replays_identically(self):
+        from repro.gpu.config import VOLTA
+        from repro.gpu.simulator import replay_events
+        from repro.harness.runner import EngineSpec
+        from repro.secure.plutus import PlutusEngine
+        from repro.workloads.traceio import dumps_event_log, loads_event_log
+
+        original = self._log("lbm")
+        recovered = loads_event_log(dumps_event_log(original))
+        factory = EngineSpec(PlutusEngine)
+        a = replay_events(original, factory, VOLTA)
+        b = replay_events(recovered, factory, VOLTA)
+        assert a.traffic == b.traffic
+        assert a.engine_stats == b.engine_stats
+
+    def test_stream_interface(self):
+        from repro.workloads.traceio import dump_event_log, load_event_log
+
+        original = self._log()
+        buffer = io.StringIO()
+        dump_event_log(original, buffer)
+        buffer.seek(0)
+        assert len(load_event_log(buffer).events) == len(original.events)
+
+    def test_whitespace_trace_name_rejected(self):
+        from repro.workloads.traceio import dumps_event_log
+
+        log = self._log()
+        log.trace_name = "bad name"
+        with pytest.raises(TraceError):
+            dumps_event_log(log)
+
+
+class TestEventLogParsing:
+    HEADER = ("#repro-events name=k intensity=0.5 instructions=10 "
+              "warmup=2 l2_accesses=4 l2_hits=3 l2_misses=1\n")
+
+    def test_header_required(self):
+        from repro.workloads.traceio import loads_event_log
+
+        with pytest.raises(TraceError):
+            loads_event_log("F 0 0 -\n")
+
+    def test_header_populates_profile_and_l2_stats(self):
+        from repro.workloads.traceio import loads_event_log
+
+        log = loads_event_log(self.HEADER + "F 3 7 -\n")
+        assert log.trace_name == "k"
+        assert log.memory_intensity == 0.5
+        assert log.instructions == 10
+        assert log.counter_warmup_passes == 2
+        assert (log.l2_stats.accesses, log.l2_stats.sector_hits,
+                log.l2_stats.sector_misses) == (4, 3, 1)
+        assert log.fill_sectors == 1 and log.writeback_sectors == 0
+
+    def test_bad_kind_rejected(self):
+        from repro.workloads.traceio import loads_event_log
+
+        with pytest.raises(TraceError):
+            loads_event_log(self.HEADER + "X 0 0 -\n")
+
+    def test_short_line_rejected(self):
+        from repro.workloads.traceio import loads_event_log
+
+        with pytest.raises(TraceError):
+            loads_event_log(self.HEADER + "F 0 0\n")
+
+    def test_negative_partition_rejected(self):
+        from repro.workloads.traceio import loads_event_log
+
+        with pytest.raises(TraceError):
+            loads_event_log(self.HEADER + "F -1 0 -\n")
+
+    def test_wrong_image_size_rejected(self):
+        from repro.workloads.traceio import loads_event_log
+
+        with pytest.raises(TraceError):
+            loads_event_log(self.HEADER + "W 0 0 aabb\n")
+
+    def test_bad_hex_rejected(self):
+        from repro.workloads.traceio import loads_event_log
+
+        with pytest.raises(TraceError):
+            loads_event_log(self.HEADER + "W 0 0 " + "zz" * 32 + "\n")
