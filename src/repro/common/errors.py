@@ -39,12 +39,25 @@ class BlockSizeError(CryptoError, ValueError):
 
 
 class SecurityViolation(ReproError):
-    """Base class for detected attacks on the protected memory."""
+    """Base class for detected attacks on the protected memory.
 
-    def __init__(self, message: str, address: "int | None" = None) -> None:
+    Carries enough context for a campaign report (or a user traceback)
+    to be actionable: the physical address the violation was detected
+    at and the metadata *stream* whose check tripped (``"data"``,
+    ``"mac"``, ``"counter"``, ``"bmt"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        address: "int | None" = None,
+        stream: "str | None" = None,
+    ) -> None:
         super().__init__(message)
         #: Physical address at which the violation was detected (if known).
         self.address = address
+        #: Metadata stream whose verification failed (if known).
+        self.stream = stream
 
 
 class IntegrityError(SecurityViolation):
@@ -70,3 +83,24 @@ class SimulationError(ReproError):
 
 class TraceError(ReproError):
     """A workload trace record was malformed or out of accepted range."""
+
+
+class TraceFormatError(TraceError):
+    """A trace or event-log *file* failed structural validation.
+
+    Raised by :mod:`repro.workloads.traceio` for malformed or truncated
+    files, always naming the offending line so users can fix real dumps
+    by hand. ``line`` is ``None`` for whole-file problems (missing
+    header, record-count mismatch against the footer).
+    """
+
+    def __init__(self, message: str, line: "int | None" = None) -> None:
+        super().__init__(
+            f"line {line}: {message}" if line is not None else message
+        )
+        #: 1-based line number the problem was detected at (if known).
+        self.line = line
+
+
+class FaultInjectionError(ReproError):
+    """A fault-injection plan or campaign was invalid or inapplicable."""

@@ -1,0 +1,71 @@
+"""Deterministic fault injection against the functional secure memory.
+
+The paper's security argument is a *detection* argument: spoofing and
+splicing are caught by MACs, replay by the counter-integrity tree, and
+Plutus's value-cache shortcut is sound because a tampered AES-XTS block
+decrypts to values that miss the value cache with probability below the
+MAC collision rate (PAPER.md §IV). This package attacks that argument
+on demand:
+
+* :mod:`repro.faults.plan` — :class:`FaultKind` / :class:`InjectionPlan`,
+  the seedable description of one adversarial tamper;
+* :mod:`repro.faults.workload` — deterministic read/write op streams
+  (derived from benchmark traces or synthesized) that establish the
+  state a fault is mounted against;
+* :mod:`repro.faults.hooks` — applies a plan through the untrusted
+  surfaces (DRAM image, MAC region, counter blobs, tree nodes) and the
+  write-path hook points, leaving the engines unchanged;
+* :mod:`repro.faults.campaign` — mounts whole campaigns across engine
+  variants and classifies every injection as detected, benign,
+  false-accepted, or missed; false-accept rates are compared against
+  the paper's collision-rate bound;
+* :mod:`repro.faults.report` — renders the detection matrix.
+
+``python -m repro.harness inject <bench> --campaign <name>`` is the CLI
+entry; it exits non-zero on any miss.
+"""
+
+from repro.faults.campaign import (
+    CAMPAIGNS,
+    CampaignReport,
+    CampaignSpec,
+    MatrixCell,
+    Outcome,
+    TrialRecord,
+    build_engine,
+    build_plans,
+    campaign_spec,
+    mac_collision_rate,
+    run_campaign,
+    value_cache_false_accept_rate,
+)
+from repro.faults.hooks import apply_fault, dropped_write, inject_immediate
+from repro.faults.plan import ENGINE_VARIANTS, FaultKind, InjectionPlan
+from repro.faults.report import render_campaign
+from repro.faults.workload import Op, ops_from_trace, synthetic_ops, value_sweep_ops
+
+__all__ = [
+    "CAMPAIGNS",
+    "CampaignReport",
+    "CampaignSpec",
+    "ENGINE_VARIANTS",
+    "FaultKind",
+    "InjectionPlan",
+    "MatrixCell",
+    "Op",
+    "Outcome",
+    "TrialRecord",
+    "apply_fault",
+    "build_engine",
+    "build_plans",
+    "campaign_spec",
+    "dropped_write",
+    "inject_immediate",
+    "mac_collision_rate",
+    "ops_from_trace",
+    "render_campaign",
+    "run_campaign",
+    "synthetic_ops",
+    "value_cache_false_accept_rate",
+    "value_sweep_ops",
+]

@@ -1,0 +1,167 @@
+"""Mounting an :class:`InjectionPlan` against a live engine.
+
+Faults land exclusively on the *untrusted* surfaces a physical attacker
+controls — the DRAM image, the MAC region, the serialized counter blobs,
+the stored tree nodes — or on the store path via the write/update hooks
+of :class:`~repro.mem.backing.BackingStore` and
+:class:`~repro.metadata.mac_store.MacStore`. The engine above is never
+modified: detection must come from its own verification flows, exactly
+as it would in hardware.
+
+Spatial faults (bit-flips, splices, metadata corruption) are mounted by
+:func:`inject_immediate`. Temporal faults need the engine to keep
+running while the fault is in effect: :data:`FaultKind.REPLAY` performs
+a snapshot / advancing-write / rollback sequence, and
+:data:`FaultKind.DROPPED_WRITE` suppresses exactly the targeted store
+inside the :func:`dropped_write` context. :func:`apply_fault` dispatches
+all seven kinds.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.common.errors import FaultInjectionError
+from repro.faults.plan import SECTOR_BYTES, FaultKind, InjectionPlan
+from repro.secure.functional import SecureMemory
+
+
+def _bit_mask(length_bytes: int, bit: int) -> bytes:
+    """An XOR mask of *length_bytes* with one bit set (*bit* mod width)."""
+    bit %= length_bytes * 8
+    mask = bytearray(length_bytes)
+    mask[bit // 8] = 1 << (bit % 8)
+    return bytes(mask)
+
+
+def _sibling_on_path(mem: SecureMemory, group: int, level: int) -> int:
+    """Index of a stored node the verification of *group* reads at *level*.
+
+    ``verify_leaf`` recomputes the target's own hash at every level, so
+    only *sibling* nodes along the path are actually trusted-from-storage;
+    those are the nodes whose corruption the walk must catch. The root
+    level is on-chip and never a valid target.
+    """
+    tree = mem.tree
+    if not 0 <= level < tree.height - 1:
+        raise FaultInjectionError(
+            f"tree level {level} not a stored level "
+            f"(stored levels: 0..{tree.height - 2})"
+        )
+    child = group
+    for _ in range(level):
+        child //= tree.arity
+    parent = child // tree.arity
+    start = parent * tree.arity
+    end = min(start + tree.arity, len(tree.levels[level]))
+    for i in range(start, end):
+        if i != child:
+            return i
+    raise FaultInjectionError(
+        f"group {group} has no sibling at tree level {level}"
+    )
+
+
+def inject_immediate(mem: SecureMemory, plan: InjectionPlan) -> None:
+    """Mount a spatial fault on *mem*'s untrusted state, in place."""
+    idx = plan.address // SECTOR_BYTES
+    if plan.kind is FaultKind.BITFLIP:
+        mem.tamper_data(plan.address, _bit_mask(SECTOR_BYTES, plan.bit))
+    elif plan.kind is FaultKind.SPLICE:
+        src_idx = plan.src_address // SECTOR_BYTES
+        mem.dram.splice(plan.address, plan.src_address, SECTOR_BYTES)
+        mem.mac_store.splice(idx, src_idx)
+    elif plan.kind is FaultKind.COUNTER_CORRUPT:
+        group = mem.counters.group_of(idx)
+        blob = mem.counter_blobs.get(group)
+        if not blob:
+            raise FaultInjectionError(
+                f"counter group {group} was never published; "
+                "target a written address"
+            )
+        mem.tamper_counter_blob(group, _bit_mask(len(blob), plan.bit))
+    elif plan.kind is FaultKind.MAC_CORRUPT:
+        mem.mac_store.tamper(
+            idx, _bit_mask(mem.mac_store.algorithm.tag_bytes, plan.bit)
+        )
+    elif plan.kind is FaultKind.BMT_NODE:
+        group = mem.counters.group_of(idx)
+        sibling = _sibling_on_path(mem, group, plan.tree_level)
+        stored = mem.tree.node_hash(plan.tree_level, sibling)
+        mem.tree.corrupt_node(
+            plan.tree_level, sibling, bytes([stored[0] ^ 0x01]) + stored[1:]
+        )
+    else:
+        raise FaultInjectionError(
+            f"{plan.kind.value} is temporal; use apply_fault / dropped_write"
+        )
+
+
+@contextmanager
+def dropped_write(mem: SecureMemory, plan: InjectionPlan) -> Iterator[None]:
+    """Suppress stores to the plan's target while the context is active.
+
+    ``stream == "data"`` drops the ciphertext store on the DRAM bus;
+    ``stream == "mac"`` drops the tag update into the MAC region. Either
+    way the engine believes the write retired — counters advance, the
+    tree root moves — which is precisely the desynchronization a lost
+    store causes in hardware.
+    """
+    if plan.kind is not FaultKind.DROPPED_WRITE:
+        raise FaultInjectionError(f"not a dropped-write plan: {plan.kind}")
+    target_idx = plan.address // SECTOR_BYTES
+    if plan.stream == "data":
+        previous = mem.dram.write_hook
+
+        def drop_data(address: int, data: bytes) -> Optional[bytes]:
+            if address == plan.address:
+                return None
+            return data if previous is None else previous(address, data)
+
+        mem.dram.install_write_hook(drop_data)
+        try:
+            yield
+        finally:
+            mem.dram.install_write_hook(previous)
+    else:
+        previous_mac = mem.mac_store.update_hook
+
+        def drop_tag(sector_index: int, tag: bytes) -> Optional[bytes]:
+            if sector_index == target_idx:
+                return None
+            if previous_mac is None:
+                return tag
+            return previous_mac(sector_index, tag)
+
+        mem.mac_store.install_update_hook(drop_tag)
+        try:
+            yield
+        finally:
+            mem.mac_store.install_update_hook(previous_mac)
+
+
+def apply_fault(
+    mem: SecureMemory,
+    plan: InjectionPlan,
+    fresh_data: Optional[bytes] = None,
+) -> None:
+    """Mount *plan* against *mem*, including the temporal kinds.
+
+    ``fresh_data`` is the advancing sector payload temporal kinds write
+    at the trigger point: the value the rollback hides (REPLAY) or whose
+    store is suppressed (DROPPED_WRITE).
+    """
+    if plan.kind is FaultKind.REPLAY:
+        if fresh_data is None:
+            raise FaultInjectionError("replay needs fresh_data to roll past")
+        stale = mem.snapshot_sector(plan.address)
+        mem.write(plan.address, fresh_data)
+        mem.replay_sector(plan.address, *stale)
+    elif plan.kind is FaultKind.DROPPED_WRITE:
+        if fresh_data is None:
+            raise FaultInjectionError("dropped write needs fresh_data")
+        with dropped_write(mem, plan):
+            mem.write(plan.address, fresh_data)
+    else:
+        inject_immediate(mem, plan)

@@ -1,0 +1,86 @@
+"""Rendering a campaign's detection matrix for the CLI."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.faults.campaign import CampaignReport, MatrixCell
+from repro.faults.plan import QUANTIFIED_KINDS, FaultKind
+
+
+def _cell_text(kind: FaultKind, cell: MatrixCell) -> str:
+    parts = [f"{cell.detected}/{cell.trials} det"]
+    if cell.benign:
+        parts.append(f"{cell.benign} benign")
+    if cell.false_accepts:
+        parts.append(f"fa={cell.false_accept_rate:.3f}")
+    if cell.missed:
+        parts.append(f"{cell.missed} MISSED")
+    return ", ".join(parts)
+
+
+def render_campaign(report: CampaignReport) -> str:
+    """ASCII matrix (fault kind × engine) plus the quantified-rate verdict."""
+    engines = list(report.spec.engines)
+    kinds = [k for k in FaultKind if k in report.spec.kinds]
+    rows: List[List[str]] = []
+    for kind in kinds:
+        row = [kind.value]
+        for engine in engines:
+            cell = report.matrix.get((engine, kind))
+            row.append("-" if cell is None else _cell_text(kind, cell))
+        rows.append(row)
+
+    headers = ["fault class"] + engines
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows
+        else len(headers[c])
+        for c in range(len(headers))
+    ]
+
+    def fmt(cols: List[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cols, widths)).rstrip()
+
+    lines = [
+        f"campaign '{report.spec.name}': seed={report.spec.seed} "
+        f"{len(report.records)} trials over {len(engines)} engine(s)",
+        fmt(headers),
+        fmt(["-" * w for w in widths]),
+    ]
+    lines.extend(fmt(row) for row in rows)
+
+    bound = report.spec.fa_bound
+    for engine in engines:
+        rate = report.false_accept_rate(engine)
+        quantified = any(
+            (engine, k) in report.matrix for k in QUANTIFIED_KINDS
+        )
+        if not quantified:
+            continue
+        verdict = ""
+        if bound is not None:
+            verdict = (
+                " (within bound)" if rate <= bound else " (EXCEEDS BOUND)"
+            )
+        bound_text = f"{bound:.3e}" if bound is not None else "report-only"
+        lines.append(
+            f"value-cache false-accept rate [{engine}]: {rate:.4f} "
+            f"vs bound {bound_text}{verdict}"
+        )
+
+    for record in report.missed:
+        lines.append(
+            f"MISS: [{record.engine}] {record.plan.describe()} -> "
+            f"{record.detail}"
+        )
+    for record in report.disallowed_benign:
+        lines.append(
+            f"DISALLOWED BENIGN: [{record.engine}] {record.plan.describe()}"
+        )
+    for record in report.disallowed_false_accepts:
+        lines.append(
+            f"DISALLOWED FALSE-ACCEPT: [{record.engine}] "
+            f"{record.plan.describe()}"
+        )
+    lines.append("verdict: " + ("PASS" if report.ok else "FAIL"))
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Deterministic op streams that campaigns attack.
+
+A campaign needs a victim workload: a sequence of sector-granular reads
+and writes that establishes ciphertext, counters, MACs, and tree state
+before a fault is mounted. Two sources are supported:
+
+* :func:`ops_from_trace` distills the stream from a benchmark trace —
+  the same synthetic workloads the performance experiments use, so the
+  attacked state has realistic spatial structure and value locality;
+* :func:`synthetic_ops` generates a free-standing seeded stream for
+  tests that do not want to pay for trace generation.
+
+:func:`value_sweep_ops` produces writes whose 32-bit values sweep a key
+range — the warm-up the value-stress campaign uses to saturate a
+(deliberately weakened) value cache before measuring false accepts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.rng import RngStream
+from repro.workloads.trace import Trace
+
+SECTOR_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Op:
+    """One sector-granular operation of the victim workload."""
+
+    write: bool
+    address: int
+    #: Sector payload for writes; ``None`` for reads.
+    data: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.address % SECTOR_BYTES != 0:
+            raise ValueError(f"address {self.address:#x} not sector aligned")
+        if self.write and (self.data is None or len(self.data) != SECTOR_BYTES):
+            raise ValueError("writes need one whole sector of data")
+
+
+def _fill_data(tag: str, index: int, address: int) -> bytes:
+    """Deterministic sector payload for value-less trace accesses."""
+    return hashlib.sha256(
+        f"{tag}:{index}:{address:#x}".encode("ascii")
+    ).digest()
+
+
+def ops_from_trace(
+    trace: Trace, size_bytes: int, limit: Optional[int] = None
+) -> List[Op]:
+    """Map a benchmark trace onto the functional memory's address space.
+
+    Each set sector of each coalesced access becomes one op at the
+    sector address folded into ``[0, size_bytes)``. Sector images from
+    the trace's value model are used verbatim; accesses without images
+    get deterministic content-hashed payloads so writes stay
+    reproducible.
+    """
+    if size_bytes % SECTOR_BYTES != 0 or size_bytes <= 0:
+        raise ValueError("size_bytes must be a positive sector multiple")
+    ops: List[Op] = []
+    for i, access in enumerate(trace):
+        for slot in access.sectors():
+            address = (access.line_addr + slot * SECTOR_BYTES) % size_bytes
+            address -= address % SECTOR_BYTES
+            if access.write:
+                data = access.value_for(slot)
+                if data is None:
+                    data = _fill_data(trace.name, i, address)
+                ops.append(Op(write=True, address=address, data=data))
+            else:
+                ops.append(Op(write=False, address=address))
+            if limit is not None and len(ops) >= limit:
+                return ops
+    return ops
+
+
+def synthetic_ops(
+    seed: int, count: int, size_bytes: int, write_fraction: float = 0.6
+) -> List[Op]:
+    """A free-standing seeded op stream (writes first touch, then mixed)."""
+    if size_bytes % SECTOR_BYTES != 0 or size_bytes <= 0:
+        raise ValueError("size_bytes must be a positive sector multiple")
+    rng = RngStream(seed=seed)
+    sectors = size_bytes // SECTOR_BYTES
+    ops: List[Op] = []
+    written: List[int] = []
+    for i in range(count):
+        make_write = not written or rng.random() < write_fraction
+        if make_write:
+            address = int(rng.integers(0, sectors)) * SECTOR_BYTES
+            ops.append(
+                Op(write=True, address=address,
+                   data=_fill_data("synthetic", i, address))
+            )
+            written.append(address)
+        else:
+            ops.append(Op(write=False, address=int(rng.choice(written))))
+    return ops
+
+
+def value_sweep_ops(
+    size_bytes: int, keys: int = 256, key_shift: int = 24
+) -> List[Op]:
+    """Writes whose 32-bit values sweep ``keys`` distinct cache keys.
+
+    With a weakened :class:`~repro.secure.value_cache.ValueCacheConfig`
+    (large ``mask_bits``), this warm-up populates the cache with every
+    reachable key so that random tampered plaintext *will* hit — the
+    regime in which the value-stress campaign measures a non-trivial
+    false-accept rate and checks it against the analytic model.
+    """
+    ops: List[Op] = []
+    values_per_sector = SECTOR_BYTES // 4
+    address = 0
+    value = 0
+    while value < keys:
+        sector = b"".join(
+            ((min(value + j, keys - 1) << key_shift) & 0xFFFFFFFF).to_bytes(
+                4, "little"
+            )
+            for j in range(values_per_sector)
+        )
+        ops.append(Op(write=True, address=address % size_bytes, data=sector))
+        address += SECTOR_BYTES
+        value += values_per_sector
+    return ops

@@ -30,7 +30,9 @@ import os
 import pickle
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, fields, replace
 from enum import Enum
 from typing import Callable, Dict, List, Optional, Tuple
@@ -324,6 +326,7 @@ def _replay_events_parallel(
     config: GpuConfig,
     counter_warmup_passes: int,
     requested_workers: int,
+    shard_timeout: Optional[float] = None,
 ) -> Optional[SimulationResult]:
     """Shard-per-partition replay across a process pool.
 
@@ -337,6 +340,18 @@ def _replay_events_parallel(
     partition order — and byte-identical to serial replay: every stream
     byte/transaction and every :class:`EngineStats` field is an integer
     sum over per-partition contributions, and partitions never interact.
+
+    Failure handling distinguishes two classes. *Crash-class* failures —
+    a worker process dying (``BrokenProcessPool``), a shard exceeding
+    ``shard_timeout`` seconds, or a cancelled future — degrade, not
+    abort: the affected partitions are re-replayed serially in this
+    process (same code path a worker runs, so the merged result stays
+    byte-identical) under a ``RuntimeWarning`` naming each failed
+    partition, with ``replay.shard_retries`` counting retries.
+    *Deterministic* shard exceptions — the replay itself raised — would
+    fail identically on retry, so remaining shards are cancelled and a
+    :class:`~repro.common.errors.SimulationError` naming the partition
+    is raised, chained to the worker's original exception.
     """
     shards = split_event_log(log)
     if len(shards) < 2:
@@ -363,19 +378,68 @@ def _replay_events_parallel(
         "replay_events", trace=log.trace_name,
         workers=n_workers, shards=len(shards),
     ):
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        outcomes = []
+        failed: Dict[int, str] = {}
+        hung = False
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        try:
             futures = [
-                pool.submit(
-                    _replay_shard,
-                    shards[partition],
-                    engine_factory,
-                    config,
-                    counter_warmup_passes,
-                    child_obs,
+                (
+                    partition,
+                    pool.submit(
+                        _replay_shard,
+                        shards[partition],
+                        engine_factory,
+                        config,
+                        counter_warmup_passes,
+                        child_obs,
+                    ),
                 )
                 for partition in ordered
             ]
-            outcomes = [future.result() for future in futures]
+            for partition, future in futures:
+                try:
+                    outcomes.append(future.result(timeout=shard_timeout))
+                except (BrokenProcessPool, CancelledError) as exc:
+                    failed[partition] = type(exc).__name__
+                except FutureTimeoutError:
+                    failed[partition] = f"timeout after {shard_timeout:g}s"
+                    hung = True
+                except Exception as exc:
+                    for _, pending in futures:
+                        pending.cancel()
+                    raise SimulationError(
+                        f"shard replay failed for partition {partition} "
+                        f"of trace {log.trace_name!r} "
+                        f"({len(shards[partition].events)} events): {exc}"
+                    ) from exc
+        finally:
+            # A hung worker must never block shutdown; cancelled
+            # futures simply never start.
+            pool.shutdown(wait=not hung, cancel_futures=True)
+
+        if failed:
+            causes = ", ".join(
+                f"partition {p}: {cause}" for p, cause in sorted(failed.items())
+            )
+            warnings.warn(
+                f"parallel replay degraded for trace {log.trace_name!r}: "
+                f"{len(failed)} of {len(shards)} shard(s) failed "
+                f"({causes}); retrying those partitions serially",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+            obs.registry.counter("replay.shard_retries").inc(len(failed))
+            for partition in sorted(failed):
+                outcomes.append(
+                    _replay_shard(
+                        shards[partition],
+                        engine_factory,
+                        config,
+                        counter_warmup_passes,
+                        child_obs,
+                    )
+                )
 
     outcomes.sort(key=lambda outcome: outcome.partition)
     traffic = TrafficCounter()
@@ -425,6 +489,7 @@ def replay_events(
     config: GpuConfig,
     counter_warmup_passes: "int | None" = None,
     workers: "int | None" = 1,
+    shard_timeout: "float | None" = None,
 ) -> SimulationResult:
     """Run a logged event stream through one security-engine design.
 
@@ -442,16 +507,22 @@ def replay_events(
     serial reference path, ``None`` means one worker per CPU core, and
     ``>= 2`` shards the log by partition across a process pool (see
     :func:`split_event_log`). The merged result is byte-identical to
-    ``workers=1`` regardless of worker count.
+    ``workers=1`` regardless of worker count. ``shard_timeout`` bounds
+    each shard's wall-clock seconds in the parallel path; shards that
+    exceed it (or whose worker dies) are retried serially with a
+    ``RuntimeWarning`` rather than failing the run.
     """
     if counter_warmup_passes is None:
         counter_warmup_passes = log.counter_warmup_passes
     if counter_warmup_passes < 0:
         raise ValueError("warmup passes cannot be negative")
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise ValueError("shard timeout must be positive (or None)")
     n_workers = resolve_workers(workers)
     if n_workers > 1:
         parallel = _replay_events_parallel(
-            log, engine_factory, config, counter_warmup_passes, n_workers
+            log, engine_factory, config, counter_warmup_passes, n_workers,
+            shard_timeout,
         )
         if parallel is not None:
             return parallel

@@ -11,6 +11,11 @@ trace/event-log cache.
 instrumented simulation and renders the observability dashboard; see
 docs/ARCHITECTURE.md § Observability.
 
+``python -m repro.harness inject <benchmark> --campaign <name>`` mounts
+an adversarial fault-injection campaign against the secure-memory model
+and prints the detection matrix, exiting 1 if any injected fault is
+missed; see docs/ARCHITECTURE.md § Fault model & injection.
+
 Unknown experiment, benchmark, or engine keys exit with status 2 and a
 one-line message naming the known keys — never a traceback.
 """
@@ -47,11 +52,31 @@ def _workers_arg(value: str):
     return workers
 
 
+def _shard_timeout_arg(value: str) -> float:
+    """Parse ``--shard-timeout``: positive wall-clock seconds."""
+    try:
+        timeout = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard timeout must be a positive number of seconds, "
+            f"got {value!r}"
+        ) from None
+    if timeout <= 0:
+        raise argparse.ArgumentTypeError("shard timeout must be > 0")
+    return timeout
+
+
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=_workers_arg, default=None, metavar="N|auto",
         help="replay worker processes: an integer, or 'auto' for one per "
              "CPU core (default); 1 forces the serial path",
+    )
+    parser.add_argument(
+        "--shard-timeout", type=_shard_timeout_arg, default=None,
+        metavar="SECONDS",
+        help="wall-clock bound per parallel replay shard; shards that "
+             "exceed it are retried serially instead of hanging the run",
     )
     parser.add_argument(
         "--cache-dir", default=None, metavar="PATH",
@@ -125,10 +150,72 @@ def profile_main(argv) -> int:
         metrics_out=args.metrics_out,
         trace_out=args.trace_out,
         workers=args.workers,
+        shard_timeout=args.shard_timeout,
         cache_dir=args.cache_dir,
     )
     print(render_profile(profile))
     return 0
+
+
+def inject_main(argv) -> int:
+    """Parse and run the ``inject`` subcommand."""
+    from repro.faults.campaign import CAMPAIGNS
+    from repro.faults.plan import ENGINE_VARIANTS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness inject",
+        description="Mount an adversarial fault-injection campaign and "
+                    "print the detection matrix.",
+    )
+    parser.add_argument(
+        "benchmark",
+        help="benchmark trace supplying the victim workload",
+    )
+    parser.add_argument(
+        "--campaign", default="quick",
+        help=f"campaign to mount (default: quick; known: "
+             f"{sorted(CAMPAIGNS)})",
+    )
+    parser.add_argument(
+        "--engines", nargs="+", default=None, metavar="ENGINE",
+        help="restrict the engine roster (default: the campaign's own; "
+             f"known: {sorted(ENGINE_VARIANTS)})",
+    )
+    parser.add_argument(
+        "--length", type=int, default=DEFAULT_TRACE_LENGTH,
+        help="trace length in coalesced accesses",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2023, help="trace generation seed"
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="root of the on-disk trace cache (default: $REPRO_CACHE_DIR "
+             "or .cache; pass '' to disable)",
+    )
+    args = parser.parse_args(argv)
+    _check_known(parser, "benchmark", args.benchmark, benchmark_names())
+    _check_known(parser, "campaign", args.campaign, CAMPAIGNS)
+    for engine in args.engines or ():
+        _check_known(parser, "engine variant", engine, ENGINE_VARIANTS)
+
+    from repro.faults.report import render_campaign
+    from repro.harness.inject import run_inject
+
+    try:
+        outcome = run_inject(
+            args.benchmark,
+            args.campaign,
+            length=args.length,
+            seed=args.seed,
+            engines=args.engines,
+            cache_dir=args.cache_dir,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_campaign(outcome.report))
+    return 0 if outcome.ok else 1
 
 
 def main(argv=None) -> int:
@@ -137,6 +224,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "inject":
+        return inject_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the Plutus paper's tables and figures.",
@@ -178,6 +267,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         benchmarks=args.benchmarks or benchmark_names(),
         workers=args.workers,
+        shard_timeout=args.shard_timeout,
         cache_dir=args.cache_dir,
     )
     try:

@@ -14,10 +14,14 @@ their defining inputs:
   changing the L2 geometry) invalidates dependent logs automatically.
 
 Storage is the human-readable :mod:`repro.workloads.traceio` line
-formats; writes are atomic (temp file + rename) so concurrent runs
-never observe torn artifacts, and unreadable/corrupt entries degrade to
-cache misses. Delete the cache root, or bump :data:`SCHEMA_VERSION`
-after changing trace generators, to invalidate everything.
+formats plus a SHA-256 checksum footer; writes are atomic (temp file +
+rename) so concurrent runs never observe torn artifacts. A truncated,
+bit-flipped, or otherwise mangled entry fails the checksum (or the
+format validation behind it) and degrades to a cache miss — counted in
+:attr:`DiskCache.corrupt_entries` and the ``cache.corrupt_entries``
+metric, never surfaced as a parse error. Delete the cache root, or bump
+:data:`SCHEMA_VERSION` after changing trace generators, to invalidate
+everything.
 
 Resolution order for the cache root: an explicit constructor/CLI path,
 else the ``REPRO_CACHE_DIR`` environment variable, else ``.cache``;
@@ -33,6 +37,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.errors import TraceError
+from repro.obs import active
 from repro.workloads.trace import Trace
 from repro.workloads.traceio import (
     dumps_event_log,
@@ -47,7 +52,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bump when trace generators or on-disk formats change shape: the
 #: version salts every key, so stale artifacts are simply never hit.
-SCHEMA_VERSION = "1"
+#: v2: entries carry a SHA-256 checksum footer.
+SCHEMA_VERSION = "2"
+
+#: Footer line prefix sealing every cache entry.
+CHECKSUM_PREFIX = "#repro-checksum sha256="
 
 #: Environment variable naming the cache root ("" disables caching).
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -83,6 +92,8 @@ class DiskCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: Entries discarded for failing checksum or format validation.
+        self.corrupt_entries = 0
 
     @classmethod
     def from_spec(cls, spec: Optional[str] = None) -> Optional["DiskCache"]:
@@ -117,20 +128,48 @@ class DiskCache:
     def _path(self, kind: str, key: str) -> Path:
         return self.root / f"{kind}-{key}.txt"
 
+    def _note_corrupt(self, path: Path) -> None:
+        """Count and evict a mangled entry; callers report a cache miss."""
+        self.corrupt_entries += 1
+        active().registry.counter("cache.corrupt_entries").inc()
+        self._discard(path)
+
     def _read(self, path: Path) -> Optional[str]:
+        """Read and checksum-verify one entry; ``None`` means miss.
+
+        Truncation chops (or damages) the trailing footer line; a bit
+        flip anywhere changes the digest. Either way the entry is
+        discarded and rebuilt by the caller — corruption of the cache
+        must never escalate into a parse error.
+        """
         try:
-            return path.read_text(encoding="utf-8")
+            text = path.read_text(encoding="utf-8")
         except OSError:
             return None
+        idx = text.rfind(CHECKSUM_PREFIX)
+        if idx < 0 or not text.endswith("\n"):
+            self._note_corrupt(path)
+            return None
+        payload = text[:idx]
+        claimed = text[idx + len(CHECKSUM_PREFIX):].strip()
+        actual = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        if claimed != actual:
+            self._note_corrupt(path)
+            return None
+        return payload
 
     def _write_atomic(self, path: Path, text: str) -> None:
         self.root.mkdir(parents=True, exist_ok=True)
+        if not text.endswith("\n"):
+            text += "\n"
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        sealed = f"{text}{CHECKSUM_PREFIX}{digest}\n"
         fd, tmp = tempfile.mkstemp(
             prefix=path.stem, suffix=".tmp", dir=str(self.root)
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(text)
+                handle.write(sealed)
             os.replace(tmp, path)
         except OSError:
             try:
@@ -157,7 +196,7 @@ class DiskCache:
         try:
             trace = loads_trace(text)
         except TraceError:
-            self._discard(path)
+            self._note_corrupt(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -177,7 +216,7 @@ class DiskCache:
         try:
             log = loads_event_log(text)
         except TraceError:
-            self._discard(path)
+            self._note_corrupt(path)
             self.misses += 1
             return None
         self.hits += 1

@@ -61,13 +61,15 @@ def run_profile(
     metrics_out: Optional[str] = None,
     trace_out: Optional[str] = None,
     workers: "int | None" = 1,
+    shard_timeout: Optional[float] = None,
     cache_dir: Optional[str] = None,
 ) -> ProfileResult:
     """Run one fully instrumented simulation and export its artifacts.
 
     ``workers`` follows :func:`repro.gpu.simulator.replay_events`
     semantics (1 = serial, ``None`` = auto, >= 2 = sharded replay whose
-    worker metrics are merged back into this session's registry).
+    worker metrics are merged back into this session's registry);
+    ``shard_timeout`` likewise bounds each shard's wall-clock seconds.
     """
     if obs is None:
         obs = ObsConfig(enabled=True)
@@ -80,6 +82,7 @@ def run_profile(
         benchmarks=[benchmark],
         obs=obs,
         workers=workers,
+        shard_timeout=shard_timeout,
         cache_dir=cache_dir,
     )
     result = ctx.run(benchmark, engine_key)

@@ -173,9 +173,12 @@ class ExperimentContext:
 
     ``workers`` selects the replay strategy (1 = serial reference path,
     ``None`` = one worker per core, >= 2 = partition-sharded process
-    pool); results are byte-identical either way. ``cache_dir`` names
-    the disk-cache root (``None`` = resolve from ``REPRO_CACHE_DIR``,
-    default ``.cache``; empty string disables disk caching).
+    pool); results are byte-identical either way. ``shard_timeout``
+    bounds each parallel shard's wall-clock seconds — a shard that
+    exceeds it is retried serially in-process rather than hanging the
+    sweep. ``cache_dir`` names the disk-cache root (``None`` = resolve
+    from ``REPRO_CACHE_DIR``, default ``.cache``; empty string disables
+    disk caching).
     """
 
     config: GpuConfig = VOLTA
@@ -184,6 +187,7 @@ class ExperimentContext:
     benchmarks: List[str] = field(default_factory=benchmark_names)
     obs: ObsConfig = field(default_factory=ObsConfig)
     workers: Optional[int] = 1
+    shard_timeout: Optional[float] = None
     cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -263,7 +267,11 @@ class ExperimentContext:
             log = self.event_log(benchmark)
             with activate(self.obs_session):
                 self._results[cache_key] = replay_events(
-                    log, factory, self.config, workers=self.workers
+                    log,
+                    factory,
+                    self.config,
+                    workers=self.workers,
+                    shard_timeout=self.shard_timeout,
                 )
         return self._results[cache_key]
 
@@ -279,6 +287,10 @@ class ExperimentContext:
             log = self.event_log(benchmark)
             with activate(self.obs_session):
                 self._results[cache_key] = replay_events(
-                    log, factory, self.config, workers=self.workers
+                    log,
+                    factory,
+                    self.config,
+                    workers=self.workers,
+                    shard_timeout=self.shard_timeout,
                 )
         return self._results[cache_key]

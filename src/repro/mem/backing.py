@@ -12,7 +12,11 @@ the attack harness.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, Optional
+
+#: A write interposer: receives ``(address, data)`` and returns the
+#: bytes to actually store, or ``None`` to drop the write entirely.
+WriteHook = Callable[[int, bytes], Optional[bytes]]
 
 
 class BackingStore:
@@ -24,6 +28,20 @@ class BackingStore:
         self.size_bytes = size_bytes
         self.chunk_bytes = chunk_bytes
         self._chunks: Dict[int, bytearray] = {}
+        #: Fault-injection interposer on the write path (see
+        #: :meth:`install_write_hook`); ``None`` means writes land as-is.
+        self.write_hook: Optional[WriteHook] = None
+        #: Writes suppressed by a hook (diagnostics for the campaigns).
+        self.dropped_writes = 0
+
+    def install_write_hook(self, hook: Optional[WriteHook]) -> None:
+        """Interpose *hook* on every write (``None`` uninstalls).
+
+        This is the fault-injection surface for *dropped* or *mangled*
+        DRAM stores: the engine above stays unchanged while the hook
+        decides what actually reaches the memory image.
+        """
+        self.write_hook = hook
 
     def _check_range(self, address: int, length: int) -> None:
         if address < 0 or length < 0 or address + length > self.size_bytes:
@@ -48,8 +66,19 @@ class BackingStore:
         return bytes(out)
 
     def write(self, address: int, data: bytes) -> None:
-        """Write *data* at *address*."""
+        """Write *data* at *address* (subject to any installed hook)."""
         self._check_range(address, len(data))
+        if self.write_hook is not None:
+            hooked = self.write_hook(address, data)
+            if hooked is None:
+                self.dropped_writes += 1
+                return
+            if len(hooked) != len(data):
+                raise ValueError("write hook must preserve data length")
+            data = hooked
+        self._store(address, data)
+
+    def _store(self, address: int, data: bytes) -> None:
         pos = 0
         while pos < len(data):
             addr = address + pos
@@ -66,14 +95,17 @@ class BackingStore:
         """Attacker primitive: XOR *xor_mask* into memory at *address*.
 
         Flipping ciphertext bits in place models the physical tampering
-        the threat model defends against.
+        the threat model defends against. Bypasses any installed write
+        hook: the attacker touches the array directly, not the bus.
         """
+        self._check_range(address, len(xor_mask))
         current = self.read(address, len(xor_mask))
-        self.write(address, bytes(a ^ b for a, b in zip(current, xor_mask)))
+        self._store(address, bytes(a ^ b for a, b in zip(current, xor_mask)))
 
     def splice(self, dst: int, src: int, length: int) -> None:
         """Attacker primitive: copy ciphertext between addresses."""
-        self.write(dst, self.read(src, length))
+        self._check_range(dst, length)
+        self._store(dst, self.read(src, length))
 
     @property
     def touched_bytes(self) -> int:

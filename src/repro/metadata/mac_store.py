@@ -9,9 +9,13 @@ expected to catch the mismatch.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.crypto.mac import MacAlgorithm
+
+#: An update interposer: receives ``(sector_index, tag)`` and returns
+#: the tag to actually store, or ``None`` to drop the tag update.
+UpdateHook = Callable[[int, bytes], Optional[bytes]]
 
 
 class MacStore:
@@ -20,10 +24,32 @@ class MacStore:
     def __init__(self, algorithm: MacAlgorithm) -> None:
         self.algorithm = algorithm
         self._tags: Dict[int, bytes] = {}
+        #: Fault-injection interposer on tag updates (see
+        #: :meth:`install_update_hook`); ``None`` means updates land.
+        self.update_hook: Optional[UpdateHook] = None
+        #: Tag updates suppressed by a hook (campaign diagnostics).
+        self.dropped_updates = 0
+
+    def install_update_hook(self, hook: Optional[UpdateHook]) -> None:
+        """Interpose *hook* on every tag update (``None`` uninstalls).
+
+        Models dropped or mangled MAC-region stores without the engine
+        above knowing: the hook sees the freshly computed tag and
+        decides what the untrusted MAC region actually retains.
+        """
+        self.update_hook = hook
 
     def update(self, sector_index: int, data: bytes, address: int, counter: int) -> bytes:
         """Recompute and store the tag for freshly written sector data."""
         tag = self.algorithm.compute(data, address=address, counter=counter)
+        if self.update_hook is not None:
+            hooked = self.update_hook(sector_index, tag)
+            if hooked is None:
+                self.dropped_updates += 1
+                return tag
+            if len(hooked) != len(tag):
+                raise ValueError("update hook must preserve tag length")
+            tag = hooked
         self._tags[sector_index] = tag
         return tag
 
@@ -48,6 +74,15 @@ class MacStore:
     def splice(self, dst_sector: int, src_sector: int) -> None:
         """Attacker primitive: move a valid tag to a different sector."""
         self._tags[dst_sector] = self.stored_tag(src_sector)
+
+    def tamper(self, sector_index: int, xor_mask: bytes) -> None:
+        """Attacker primitive: flip bits of a stored tag in place."""
+        if len(xor_mask) != self.algorithm.tag_bytes:
+            raise ValueError("mask length must match tag length")
+        current = self.stored_tag(sector_index)
+        self._tags[sector_index] = bytes(
+            a ^ b for a, b in zip(current, xor_mask)
+        )
 
     @property
     def stored_count(self) -> int:

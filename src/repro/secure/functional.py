@@ -25,7 +25,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.common.bitops import split_values
-from repro.common.errors import ConfigurationError, IntegrityError
+from repro.common.errors import (
+    ConfigurationError,
+    IntegrityError,
+    ReplayError,
+)
 from repro.crypto.cme import CounterModeCipher
 from repro.crypto.mac import HmacSha256Mac, MacAlgorithm
 from repro.crypto.tweak import make_tweak
@@ -59,6 +63,13 @@ class SecureMemory:
 
     ``mode`` selects the design: ``"plutus"`` (AES-XTS + value cache,
     MAC on value miss) or ``"pssm"`` (counter mode + unconditional MAC).
+    Passing ``value_cache_config=None`` in Plutus mode disables value
+    verification — AES-XTS with an unconditional MAC, the pure
+    functional reference the fault campaigns call ``"functional"``.
+
+    ``label`` names the engine variant in security exceptions (defaults
+    to the mode), and ``op_index`` counts public read/write sector
+    operations so a violation names the event that tripped it.
     """
 
     def __init__(
@@ -69,14 +80,16 @@ class SecureMemory:
         mac_key: bytes = b"\x22" * 32,
         mac_tag_bytes: int = 8,
         counter_config: SplitCounterConfig = SplitCounterConfig(),
-        value_cache_config: Optional[ValueCacheConfig] = None,
+        value_cache_config: Optional[ValueCacheConfig] = ValueCacheConfig(),
         tree_arity: int = 16,
+        label: Optional[str] = None,
     ) -> None:
         if size_bytes % SECTOR_BYTES != 0:
             raise ConfigurationError("memory size must be sector aligned")
         if mode not in ("plutus", "pssm"):
             raise ConfigurationError(f"unknown mode {mode!r}")
         self.mode = mode
+        self.label = label or mode
         self.size_bytes = size_bytes
 
         #: Untrusted ciphertext storage (attacker-writable).
@@ -93,8 +106,10 @@ class SecureMemory:
         if mode == "plutus":
             self._xts = AesXts(key)
             self._cme = None
-            self.value_cache = ValueCache(
-                value_cache_config or ValueCacheConfig()
+            self.value_cache = (
+                ValueCache(value_cache_config)
+                if value_cache_config is not None
+                else None
             )
         else:
             self._xts = None
@@ -114,6 +129,9 @@ class SecureMemory:
         self.writes = 0
         self.mac_checks = 0
         self.mac_checks_avoided = 0
+        #: Public sector operations performed so far; security
+        #: exceptions cite the index of the operation that tripped them.
+        self.op_index = 0
 
     # -- counter <-> untrusted storage ------------------------------------------
 
@@ -133,10 +151,27 @@ class SecureMemory:
         self.tree.update_leaf(group, blob)
         self._trusted_root = self.tree.root
 
-    def _verify_group(self, group: int) -> None:
-        """Check the stored counter blob against the trusted root."""
+    def _verify_group(self, group: int, address: Optional[int] = None) -> None:
+        """Check the stored counter blob against the trusted root.
+
+        Re-raises the tree's :class:`ReplayError` enriched with the data
+        address being served, the engine label, and the operation index
+        — the context a campaign report (or a user) needs to act on.
+        """
         blob = self.counter_blobs.get(group, b"")
-        self.tree.verify_leaf(group, blob, trusted_root=self._trusted_root)
+        try:
+            self.tree.verify_leaf(group, blob, trusted_root=self._trusted_root)
+        except ReplayError as exc:
+            where = (
+                f"{address:#x}" if address is not None else f"group {group}"
+            )
+            raise ReplayError(
+                f"counter-tree verification failed at {where} "
+                f"(engine={self.label}, op={self.op_index}, "
+                f"counter group {group}): {exc}",
+                address=address,
+                stream="counter",
+            ) from exc
 
     # -- helpers ----------------------------------------------------------------------
 
@@ -170,6 +205,7 @@ class SecureMemory:
 
     def _write_sector(self, address: int, plaintext: bytes) -> None:
         self.writes += 1
+        self.op_index += 1
         idx = self._sector_index(address)
         cfg = self.counters.config
 
@@ -225,6 +261,7 @@ class SecureMemory:
 
     def _read_sector(self, address: int) -> bytes:
         self.reads += 1
+        self.op_index += 1
         idx = self._sector_index(address)
         flow = ReadFlow(address=address)
         self.last_flow = flow
@@ -236,7 +273,7 @@ class SecureMemory:
             return b"\x00" * SECTOR_BYTES
 
         group = self.counters.group_of(idx)
-        self._verify_group(group)
+        self._verify_group(group, address=address)
         flow.counter_verified = True
 
         counter = self.counters.combined(idx)
@@ -256,7 +293,10 @@ class SecureMemory:
         if not self.mac_store.verify(idx, plaintext, address=address,
                                      counter=counter):
             raise IntegrityError(
-                f"MAC verification failed at {address:#x}", address=address
+                f"MAC verification failed at {address:#x} "
+                f"(engine={self.label}, op={self.op_index})",
+                address=address,
+                stream="mac",
             )
         flow.mac_verified = True
         if self.value_cache is not None:
@@ -268,6 +308,21 @@ class SecureMemory:
     def tamper_data(self, address: int, xor_mask: bytes) -> None:
         """Flip ciphertext bits in untrusted DRAM."""
         self.dram.corrupt(address, xor_mask)
+
+    def tamper_counter_blob(self, group: int, xor_mask: bytes) -> None:
+        """Flip bits of a stored (untrusted) counter group blob.
+
+        Models split/compact counter corruption in the metadata region:
+        the blob no longer matches its Merkle leaf, so the next read of
+        the group must raise :class:`ReplayError`.
+        """
+        blob = bytearray(self.counter_blobs.get(group, b""))
+        if not blob:
+            raise ValueError(f"counter group {group} was never published")
+        for i, b in enumerate(xor_mask):
+            if i < len(blob):
+                blob[i] ^= b
+        self.counter_blobs[group] = bytes(blob)
 
     def replay_sector(self, address: int, old_ciphertext: bytes,
                       old_tag: bytes, old_blob: bytes) -> None:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import io
 from typing import TYPE_CHECKING, Iterable, List, TextIO, Tuple, Union
 
-from repro.common.errors import TraceError
+from repro.common.errors import TraceError, TraceFormatError
 from repro.workloads.trace import Trace, TraceAccess
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (gpu -> workloads)
@@ -37,6 +37,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (gpu -> workloads)
 
 _HEADER_PREFIX = "#repro-trace"
 _EVENTS_HEADER_PREFIX = "#repro-events"
+#: Dumps end with ``#repro-end records=N``; loaders verify the count
+#: when the footer is present, so a truncated file cannot silently pass
+#: as a shorter-but-valid trace. Hand-written files may omit it.
+_FOOTER_PREFIX = "#repro-end"
 
 
 def dump_trace(trace: Trace, fp: TextIO) -> None:
@@ -58,6 +62,7 @@ def dump_trace(trace: Trace, fp: TextIO) -> None:
                 image = access.value_for(slot)
                 parts.append(image.hex() if image is not None else "-")
         fp.write(" ".join(parts) + "\n")
+    fp.write(f"{_FOOTER_PREFIX} records={len(trace.accesses)}\n")
 
 
 def dumps_trace(trace: Trace) -> str:
@@ -79,26 +84,42 @@ def _parse_header(line: str) -> dict:
     return _parse_header_fields(line[len(_HEADER_PREFIX):])
 
 
+def _parse_footer(line_no: int, line: str) -> int:
+    fields = _parse_header_fields(line[len(_FOOTER_PREFIX):])
+    try:
+        records = int(fields["records"])
+    except (KeyError, ValueError):
+        raise TraceFormatError(
+            f"bad '{_FOOTER_PREFIX}' footer (expected records=N)",
+            line=line_no,
+        ) from None
+    if records < 0:
+        raise TraceFormatError("footer record count is negative",
+                               line=line_no)
+    return records
+
+
 def _parse_access(line_no: int, tokens: List[str]) -> TraceAccess:
     if len(tokens) < 3:
-        raise TraceError(f"line {line_no}: expected 'R/W addr mask ...'")
+        raise TraceFormatError("expected 'R/W addr mask ...'", line=line_no)
     direction, addr_token, mask_token = tokens[:3]
     if direction not in ("R", "W"):
-        raise TraceError(f"line {line_no}: direction must be R or W")
+        raise TraceFormatError("direction must be R or W", line=line_no)
     try:
         line_addr = int(addr_token, 0)
         mask = int(mask_token, 0)
     except ValueError as exc:
-        raise TraceError(f"line {line_no}: {exc}") from None
+        raise TraceFormatError(str(exc), line=line_no) from None
 
     values: Union[List[Tuple[int, bytes]], None] = None
     image_tokens = tokens[3:]
     if image_tokens:
         slots = [s for s in range(4) if (mask >> s) & 1]
         if len(image_tokens) != len(slots):
-            raise TraceError(
-                f"line {line_no}: {len(slots)} sectors set but "
-                f"{len(image_tokens)} images given"
+            raise TraceFormatError(
+                f"{len(slots)} sectors set but {len(image_tokens)} images "
+                "given (truncated record?)",
+                line=line_no,
             )
         values = []
         for slot, token in zip(slots, image_tokens):
@@ -107,41 +128,81 @@ def _parse_access(line_no: int, tokens: List[str]) -> TraceAccess:
             try:
                 image = bytes.fromhex(token)
             except ValueError:
-                raise TraceError(
-                    f"line {line_no}: bad hex image for sector {slot}"
+                raise TraceFormatError(
+                    f"bad hex image for sector {slot}", line=line_no
                 ) from None
             if len(image) != 32:
-                raise TraceError(
-                    f"line {line_no}: sector image must be 32 bytes"
+                raise TraceFormatError(
+                    f"sector image must be 32 bytes, got {len(image)} "
+                    "(truncated record?)",
+                    line=line_no,
                 )
             values.append((slot, image))
         if not values:
             values = None
-    return TraceAccess(line_addr, mask, direction == "W", values)
+    try:
+        return TraceAccess(line_addr, mask, direction == "W", values)
+    except TraceError as exc:
+        raise TraceFormatError(str(exc), line=line_no) from None
 
 
 def load_trace(fp: TextIO, name: str = "imported") -> Trace:
-    """Parse a trace from a text stream."""
+    """Parse a trace from a text stream.
+
+    The ``#repro-trace`` header line is mandatory and must precede every
+    record; malformed or truncated input raises
+    :class:`~repro.common.errors.TraceFormatError` naming the offending
+    line. When the ``#repro-end`` footer is present (all files this
+    module writes carry one) the record count is verified against it, so
+    a file truncated between records is rejected rather than loaded
+    short.
+    """
     accesses: List[TraceAccess] = []
     intensity = 0.8
     instructions = 0
     warmup = 3
+    saw_header = False
+    expected_records = None
     for line_no, raw in enumerate(fp, start=1):
         line = raw.strip()
         if not line:
             continue
         if line.startswith(_HEADER_PREFIX):
             header = _parse_header(line)
-            name = header.get("name", name)
-            intensity = float(header.get("intensity", intensity))
-            instructions = int(header.get("instructions", instructions))
-            warmup = int(header.get("warmup", warmup))
+            try:
+                name = header.get("name", name)
+                intensity = float(header.get("intensity", intensity))
+                instructions = int(header.get("instructions", instructions))
+                warmup = int(header.get("warmup", warmup))
+            except ValueError as exc:
+                raise TraceFormatError(
+                    f"bad trace header: {exc}", line=line_no
+                ) from None
+            saw_header = True
+            continue
+        if line.startswith(_FOOTER_PREFIX):
+            expected_records = _parse_footer(line_no, line)
             continue
         if line.startswith("#"):
             continue
+        if not saw_header:
+            raise TraceFormatError(
+                f"record before the '{_HEADER_PREFIX}' header "
+                "(missing or misplaced header line)",
+                line=line_no,
+            )
         accesses.append(_parse_access(line_no, line.split()))
+    if not saw_header:
+        raise TraceFormatError(
+            f"trace file is missing its '{_HEADER_PREFIX}' header line"
+        )
+    if expected_records is not None and expected_records != len(accesses):
+        raise TraceFormatError(
+            f"footer declares {expected_records} records but file "
+            f"contains {len(accesses)} (truncated file?)"
+        )
     if not accesses:
-        raise TraceError("trace file contains no accesses")
+        raise TraceFormatError("trace file contains no accesses")
     return Trace(
         name=name,
         accesses=accesses,
@@ -184,6 +245,7 @@ def dump_event_log(log: "MemoryEventLog", fp: TextIO) -> None:
         kind = "F" if event.kind is EventKind.FILL else "W"
         image = event.values.hex() if event.values is not None else "-"
         fp.write(f"{kind} {event.partition} {event.sector_index} {image}\n")
+    fp.write(f"{_FOOTER_PREFIX} records={len(log.events)}\n")
 
 
 def dumps_event_log(log: "MemoryEventLog") -> str:
@@ -194,13 +256,20 @@ def dumps_event_log(log: "MemoryEventLog") -> str:
 
 
 def load_event_log(fp: TextIO, name: str = "imported") -> "MemoryEventLog":
-    """Parse an event log from a text stream."""
+    """Parse an event log from a text stream.
+
+    Structural failures — missing/misplaced header, malformed records,
+    a record count that contradicts the ``#repro-end`` footer — raise
+    :class:`~repro.common.errors.TraceFormatError` with the offending
+    line number.
+    """
     from repro.gpu.simulator import EventKind, MemoryEvent, MemoryEventLog
 
     log = MemoryEventLog(
         trace_name=name, memory_intensity=0.8, instructions=0
     )
     saw_header = False
+    expected_records = None
     for line_no, raw in enumerate(fp, start=1):
         line = raw.strip()
         if not line:
@@ -222,37 +291,54 @@ def load_event_log(fp: TextIO, name: str = "imported") -> "MemoryEventLog":
                 log.l2_stats.sector_hits = int(header.get("l2_hits", 0))
                 log.l2_stats.sector_misses = int(header.get("l2_misses", 0))
             except ValueError as exc:
-                raise TraceError(f"line {line_no}: bad header: {exc}") from None
+                raise TraceFormatError(
+                    f"bad header: {exc}", line=line_no
+                ) from None
             saw_header = True
+            continue
+        if line.startswith(_FOOTER_PREFIX):
+            expected_records = _parse_footer(line_no, line)
             continue
         if line.startswith("#"):
             continue
+        if not saw_header:
+            raise TraceFormatError(
+                f"record before the '{_EVENTS_HEADER_PREFIX}' header "
+                "(missing or misplaced header line)",
+                line=line_no,
+            )
         tokens = line.split()
         if len(tokens) != 4:
-            raise TraceError(
-                f"line {line_no}: expected 'F/W partition sector image'"
+            raise TraceFormatError(
+                "expected 'F/W partition sector image' "
+                "(truncated record?)",
+                line=line_no,
             )
         kind_token, partition_token, sector_token, image_token = tokens
         if kind_token not in ("F", "W"):
-            raise TraceError(f"line {line_no}: event kind must be F or W")
+            raise TraceFormatError("event kind must be F or W", line=line_no)
         try:
             partition = int(partition_token)
             sector = int(sector_token)
         except ValueError as exc:
-            raise TraceError(f"line {line_no}: {exc}") from None
+            raise TraceFormatError(str(exc), line=line_no) from None
         if partition < 0 or sector < 0:
-            raise TraceError(f"line {line_no}: negative partition or sector")
+            raise TraceFormatError(
+                "negative partition or sector", line=line_no
+            )
         values = None
         if image_token != "-":
             try:
                 values = bytes.fromhex(image_token)
             except ValueError:
-                raise TraceError(
-                    f"line {line_no}: bad hex sector image"
+                raise TraceFormatError(
+                    "bad hex sector image", line=line_no
                 ) from None
             if len(values) != 32:
-                raise TraceError(
-                    f"line {line_no}: sector image must be 32 bytes"
+                raise TraceFormatError(
+                    f"sector image must be 32 bytes, got {len(values)} "
+                    "(truncated record?)",
+                    line=line_no,
                 )
         kind = EventKind.FILL if kind_token == "F" else EventKind.WRITEBACK
         log.events.append(MemoryEvent(kind, partition, sector, values))
@@ -261,7 +347,15 @@ def load_event_log(fp: TextIO, name: str = "imported") -> "MemoryEventLog":
         else:
             log.writeback_sectors += 1
     if not saw_header:
-        raise TraceError("event-log file is missing its header line")
+        raise TraceFormatError(
+            f"event-log file is missing its '{_EVENTS_HEADER_PREFIX}' "
+            "header line"
+        )
+    if expected_records is not None and expected_records != len(log.events):
+        raise TraceFormatError(
+            f"footer declares {expected_records} records but file "
+            f"contains {len(log.events)} (truncated file?)"
+        )
     return log
 
 

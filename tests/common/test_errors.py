@@ -39,6 +39,23 @@ class TestHierarchy:
     def test_security_violation_address_optional(self):
         assert errors.ReplayError("stale").address is None
 
+    def test_security_violation_carries_stream(self):
+        violation = errors.IntegrityError(
+            "tampered", address=0x1000, stream="mac"
+        )
+        assert violation.stream == "mac"
+        assert errors.ReplayError("stale").stream is None
+
+    def test_fault_injection_error_in_hierarchy(self):
+        assert issubclass(errors.FaultInjectionError, errors.ReproError)
+
+    def test_trace_format_error_prefixes_line(self):
+        exc = errors.TraceFormatError("bad record", line=17)
+        assert issubclass(errors.TraceFormatError, errors.TraceError)
+        assert exc.line == 17
+        assert str(exc) == "line 17: bad record"
+        assert str(errors.TraceFormatError("no header")) == "no header"
+
     def test_catching_base_catches_all(self):
         with pytest.raises(errors.ReproError):
             raise errors.CounterOverflowError("boom")

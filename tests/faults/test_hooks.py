@@ -1,0 +1,177 @@
+"""Tests for mounting injection plans against a live SecureMemory.
+
+Each test arranges honest state, mounts one fault through the hook
+layer, and checks the engine's own verification flow classifies the
+probe read correctly — the engines themselves are never modified.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.common.errors import (
+    FaultInjectionError,
+    IntegrityError,
+    ReplayError,
+)
+from repro.faults.hooks import (
+    apply_fault,
+    dropped_write,
+    inject_immediate,
+)
+from repro.faults.plan import SECTOR_BYTES, FaultKind, InjectionPlan
+from repro.secure.functional import SecureMemory
+
+
+def _payload(tag: str) -> bytes:
+    return hashlib.sha256(tag.encode()).digest()
+
+
+@pytest.fixture
+def mem():
+    """Functional reference: AES-XTS + unconditional MAC, no value cache."""
+    m = SecureMemory(4096, mode="plutus", value_cache_config=None,
+                     label="functional")
+    for i in range(8):
+        m.write(i * SECTOR_BYTES, _payload(f"sector-{i}"))
+    return m
+
+
+class TestSpatialFaults:
+    def test_bitflip_detected_at_address(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.BITFLIP, address=64, trigger_index=8, bit=13
+        )
+        inject_immediate(mem, plan)
+        with pytest.raises(IntegrityError) as info:
+            mem.read(64, SECTOR_BYTES)
+        assert info.value.address == 64
+        assert info.value.stream == "mac"
+
+    def test_splice_detected(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.SPLICE, address=0, trigger_index=8,
+            src_address=96,
+        )
+        inject_immediate(mem, plan)
+        with pytest.raises(IntegrityError) as info:
+            mem.read(0, SECTOR_BYTES)
+        assert info.value.address == 0
+
+    def test_counter_corrupt_detected_as_replay(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.COUNTER_CORRUPT, address=32, trigger_index=8,
+            bit=5,
+        )
+        inject_immediate(mem, plan)
+        with pytest.raises(ReplayError) as info:
+            mem.read(32, SECTOR_BYTES)
+        assert info.value.address == 32
+
+    def test_counter_corrupt_requires_published_group(self):
+        untouched = SecureMemory(4096, mode="plutus",
+                                 value_cache_config=None)
+        plan = InjectionPlan(
+            kind=FaultKind.COUNTER_CORRUPT, address=0, trigger_index=0
+        )
+        with pytest.raises(FaultInjectionError):
+            inject_immediate(untouched, plan)
+
+    def test_mac_corrupt_detected_by_functional(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.MAC_CORRUPT, address=128, trigger_index=8,
+            bit=3,
+        )
+        inject_immediate(mem, plan)
+        with pytest.raises(IntegrityError) as info:
+            mem.read(128, SECTOR_BYTES)
+        assert info.value.address == 128
+
+    def test_bmt_sibling_corruption_detected(self):
+        # 32768 B -> 32 counter groups -> a height-3 tree with real
+        # siblings at stored level 0.
+        mem = SecureMemory(32768, mode="plutus", value_cache_config=None)
+        for i in range(0, 40):
+            mem.write(i * SECTOR_BYTES, _payload(f"s{i}"))
+        plan = InjectionPlan(
+            kind=FaultKind.BMT_NODE, address=0, trigger_index=40,
+            tree_level=0,
+        )
+        inject_immediate(mem, plan)
+        with pytest.raises(ReplayError):
+            mem.read(0, SECTOR_BYTES)
+
+    def test_bmt_root_level_not_a_target(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.BMT_NODE, address=0, trigger_index=8,
+            tree_level=mem.tree.height,
+        )
+        with pytest.raises(FaultInjectionError):
+            inject_immediate(mem, plan)
+
+    def test_temporal_kind_rejected_by_inject_immediate(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.REPLAY, address=0, trigger_index=8
+        )
+        with pytest.raises(FaultInjectionError):
+            inject_immediate(mem, plan)
+
+
+class TestTemporalFaults:
+    def test_replay_rollback_detected(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.REPLAY, address=32, trigger_index=8
+        )
+        apply_fault(mem, plan, fresh_data=_payload("fresh"))
+        with pytest.raises(ReplayError) as info:
+            mem.read(32, SECTOR_BYTES)
+        assert info.value.address == 32
+
+    def test_replay_requires_fresh_data(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.REPLAY, address=32, trigger_index=8
+        )
+        with pytest.raises(FaultInjectionError):
+            apply_fault(mem, plan)
+
+    def test_dropped_data_write_detected(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.DROPPED_WRITE, address=64, trigger_index=8,
+            stream="data",
+        )
+        apply_fault(mem, plan, fresh_data=_payload("lost"))
+        with pytest.raises(IntegrityError) as info:
+            mem.read(64, SECTOR_BYTES)
+        assert info.value.address == 64
+
+    def test_dropped_mac_write_detected_without_value_cache(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.DROPPED_WRITE, address=64, trigger_index=8,
+            stream="mac",
+        )
+        apply_fault(mem, plan, fresh_data=_payload("lost-tag"))
+        with pytest.raises(IntegrityError):
+            mem.read(64, SECTOR_BYTES)
+
+    def test_dropped_write_scope_is_exact(self, mem):
+        """Only the targeted address is suppressed; neighbours retire."""
+        plan = InjectionPlan(
+            kind=FaultKind.DROPPED_WRITE, address=64, trigger_index=8,
+            stream="data",
+        )
+        neighbour = _payload("neighbour")
+        with dropped_write(mem, plan):
+            mem.write(96, neighbour)
+        assert mem.read(96, SECTOR_BYTES) == neighbour
+
+    def test_hooks_restored_after_context(self, mem):
+        plan = InjectionPlan(
+            kind=FaultKind.DROPPED_WRITE, address=64, trigger_index=8,
+            stream="data",
+        )
+        with dropped_write(mem, plan):
+            pass
+        assert mem.dram.write_hook is None
+        after = _payload("after")
+        mem.write(64, after)
+        assert mem.read(64, SECTOR_BYTES) == after

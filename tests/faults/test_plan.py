@@ -1,0 +1,98 @@
+"""Tests for fault kinds and injection-plan validation."""
+
+import pytest
+
+from repro.common.errors import FaultInjectionError
+from repro.faults.plan import (
+    BENIGN_OK_KINDS,
+    QUANTIFIED_KINDS,
+    SECTOR_BYTES,
+    FaultKind,
+    InjectionPlan,
+)
+
+
+class TestValidation:
+    def test_minimal_plan(self):
+        plan = InjectionPlan(
+            kind=FaultKind.BITFLIP, address=64, trigger_index=10, bit=7
+        )
+        assert plan.address == 64
+
+    def test_misaligned_address_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            InjectionPlan(kind=FaultKind.BITFLIP, address=33, trigger_index=1)
+
+    def test_negative_trigger_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            InjectionPlan(kind=FaultKind.BITFLIP, address=0, trigger_index=-1)
+
+    def test_bitflip_bit_bounded_by_sector(self):
+        with pytest.raises(FaultInjectionError):
+            InjectionPlan(
+                kind=FaultKind.BITFLIP, address=0, trigger_index=1,
+                bit=SECTOR_BYTES * 8,
+            )
+
+    def test_splice_needs_distinct_aligned_source(self):
+        with pytest.raises(FaultInjectionError):
+            InjectionPlan(kind=FaultKind.SPLICE, address=0, trigger_index=1)
+        with pytest.raises(FaultInjectionError):
+            InjectionPlan(
+                kind=FaultKind.SPLICE, address=0, trigger_index=1,
+                src_address=0,
+            )
+        with pytest.raises(FaultInjectionError):
+            InjectionPlan(
+                kind=FaultKind.SPLICE, address=0, trigger_index=1,
+                src_address=33,
+            )
+        plan = InjectionPlan(
+            kind=FaultKind.SPLICE, address=0, trigger_index=1,
+            src_address=96,
+        )
+        assert plan.src_address == 96
+
+    def test_dropped_write_stream_validated(self):
+        with pytest.raises(FaultInjectionError):
+            InjectionPlan(
+                kind=FaultKind.DROPPED_WRITE, address=0, trigger_index=1,
+                stream="bmt",
+            )
+        for stream in ("data", "mac"):
+            InjectionPlan(
+                kind=FaultKind.DROPPED_WRITE, address=0, trigger_index=1,
+                stream=stream,
+            )
+
+    def test_negative_tree_level_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            InjectionPlan(
+                kind=FaultKind.BMT_NODE, address=0, trigger_index=1,
+                tree_level=-1,
+            )
+
+
+class TestTaxonomy:
+    def test_quantified_kinds_are_probabilistic_attacks(self):
+        assert QUANTIFIED_KINDS == {
+            FaultKind.BITFLIP, FaultKind.SPLICE, FaultKind.DROPPED_WRITE
+        }
+
+    def test_benign_ok_kinds(self):
+        assert BENIGN_OK_KINDS == {
+            FaultKind.MAC_CORRUPT, FaultKind.DROPPED_WRITE
+        }
+
+    def test_every_kind_describes_itself(self):
+        kwargs = {
+            FaultKind.SPLICE: {"src_address": 64},
+        }
+        for kind in FaultKind:
+            plan = InjectionPlan(
+                kind=kind, address=0, trigger_index=3,
+                **kwargs.get(kind, {}),
+            )
+            text = plan.describe()
+            assert kind.value in text
+            assert "after op 3" in text

@@ -1,0 +1,142 @@
+"""Failure handling of the partition-sharded parallel replay path.
+
+Crash-class failures (a worker process dying, a shard exceeding the
+timeout) must *degrade* — the affected partitions are retried serially
+in-process under a RuntimeWarning, and the merged result stays
+byte-identical to the all-serial reference. Deterministic shard
+exceptions would fail identically on retry, so they abort with a
+SimulationError naming the partition, chained to the original.
+
+The misbehaving engines below act up only inside worker processes
+(detected by PID), so the in-process serial retry — and the serial
+reference replay — see a perfectly ordinary PSSM engine.
+"""
+
+import os
+import time
+import warnings
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.gpu.config import VOLTA
+from repro.gpu.simulator import replay_events
+from repro.harness.runner import EngineSpec
+from repro.obs import ObsConfig, ObsSession, activate
+from repro.secure.pssm import PssmEngine
+
+#: PID of the process that imported this module; forked pool workers
+#: see a different value, which is how the engines below tell "I am in
+#: a worker" from "I am the serial retry".
+_MAIN_PID = os.getpid()
+
+
+class _WorkerKillingEngine(PssmEngine):
+    """Kills the hosting *worker* process; harmless in the main process."""
+
+    def __init__(self, partition_id, data_sectors, traffic, **kwargs):
+        if os.getpid() != _MAIN_PID:
+            os._exit(17)
+        super().__init__(partition_id, data_sectors, traffic, **kwargs)
+
+
+class _SlowWorkerEngine(PssmEngine):
+    """Stalls construction inside workers long enough to trip a timeout."""
+
+    def __init__(self, partition_id, data_sectors, traffic, **kwargs):
+        if os.getpid() != _MAIN_PID:
+            time.sleep(2.0)
+        super().__init__(partition_id, data_sectors, traffic, **kwargs)
+
+
+class _AlwaysFailingEngine(PssmEngine):
+    """Deterministic failure: raises everywhere, including on retry."""
+
+    def __init__(self, partition_id, data_sectors, traffic, **kwargs):
+        raise ValueError(f"engine exploded on partition {partition_id}")
+
+
+def _result_tuple(result):
+    return (
+        result.engine_name,
+        result.trace_name,
+        result.memory_intensity,
+        result.instructions,
+        result.traffic,
+        result.engine_stats,
+        result.l2_stats,
+    )
+
+
+class TestCrashDegradation:
+    def test_killed_worker_degrades_to_serial_retry(self, bfs_log):
+        factory = EngineSpec(_WorkerKillingEngine)
+        reference = replay_events(bfs_log, factory, VOLTA, workers=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            degraded = replay_events(bfs_log, factory, VOLTA, workers=2)
+        messages = [
+            str(w.message) for w in caught
+            if issubclass(w.category, RuntimeWarning)
+        ]
+        assert any("retrying those partitions serially" in m
+                   for m in messages)
+        assert any("BrokenProcessPool" in m for m in messages)
+        assert _result_tuple(degraded) == _result_tuple(reference)
+
+    def test_timeout_degrades_to_serial_retry(self, bfs_log):
+        factory = EngineSpec(_SlowWorkerEngine)
+        reference = replay_events(bfs_log, factory, VOLTA, workers=1)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            degraded = replay_events(
+                bfs_log, factory, VOLTA, workers=2, shard_timeout=0.25
+            )
+        messages = [
+            str(w.message) for w in caught
+            if issubclass(w.category, RuntimeWarning)
+        ]
+        assert any("timeout after 0.25s" in m for m in messages)
+        assert _result_tuple(degraded) == _result_tuple(reference)
+
+    def test_degradation_counts_retries(self, bfs_log):
+        factory = EngineSpec(_WorkerKillingEngine)
+        obs = ObsSession(ObsConfig(enabled=True))
+        with activate(obs):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                replay_events(bfs_log, factory, VOLTA, workers=2)
+        assert obs.registry.counter("replay.shard_retries").value >= 1
+
+
+class TestDeterministicFailure:
+    def test_shard_exception_chains_partition_context(self, bfs_log):
+        factory = EngineSpec(_AlwaysFailingEngine)
+        with pytest.raises(SimulationError) as info:
+            replay_events(bfs_log, factory, VOLTA, workers=2)
+        message = str(info.value)
+        assert "shard replay failed for partition" in message
+        assert bfs_log.trace_name in message
+        assert "events" in message
+        assert isinstance(info.value.__cause__, ValueError)
+
+
+class TestTimeoutValidation:
+    def test_nonpositive_timeout_rejected(self, bfs_log):
+        factory = EngineSpec(PssmEngine)
+        with pytest.raises(ValueError):
+            replay_events(
+                bfs_log, factory, VOLTA, workers=2, shard_timeout=0.0
+            )
+        with pytest.raises(ValueError):
+            replay_events(
+                bfs_log, factory, VOLTA, workers=1, shard_timeout=-1.0
+            )
+
+    def test_timeout_with_fast_shards_is_inert(self, bfs_log):
+        factory = EngineSpec(PssmEngine)
+        reference = replay_events(bfs_log, factory, VOLTA, workers=1)
+        timed = replay_events(
+            bfs_log, factory, VOLTA, workers=2, shard_timeout=120.0
+        )
+        assert _result_tuple(timed) == _result_tuple(reference)

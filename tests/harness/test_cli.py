@@ -78,6 +78,19 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["eq1", "--workers", "0"])
 
+    def test_shard_timeout_flag_accepts_seconds(self, capsys):
+        rc = main(["eq1", "--length", "300", "--benchmarks", "bfs",
+                   "--shard-timeout", "30"])
+        assert rc == 0
+
+    def test_shard_timeout_flag_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            main(["eq1", "--shard-timeout", "soon"])
+        with pytest.raises(SystemExit):
+            main(["eq1", "--shard-timeout", "0"])
+        with pytest.raises(SystemExit):
+            main(["eq1", "--shard-timeout", "-3"])
+
 
 class TestProfileCli:
     def test_unknown_benchmark_rejected(self, capsys):
@@ -98,3 +111,79 @@ class TestProfileCli:
         err = capsys.readouterr().err
         assert "unknown engine 'fort-knox'" in err
         assert "plutus" in err
+
+
+class TestInjectCli:
+    def test_quick_campaign_passes(self, capsys):
+        rc = main(["inject", "bfs", "--campaign", "quick",
+                   "--length", "600", "--cache-dir", ""])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault class" in out
+        assert "verdict: PASS" in out
+        for engine in ("plutus", "pssm", "functional"):
+            assert engine in out
+
+    def test_engine_roster_restriction(self, capsys):
+        rc = main(["inject", "bfs", "--campaign", "quick",
+                   "--engines", "pssm", "functional",
+                   "--length", "600", "--cache-dir", ""])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pssm" in out and "functional" in out
+        assert "2 engine(s)" in out
+
+    def test_unknown_campaign_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inject", "bfs", "--campaign", "blitz"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown campaign 'blitz'" in err
+        assert "quick" in err
+
+    def test_unknown_benchmark_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inject", "doom"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown benchmark 'doom'" in err
+
+    def test_unknown_engine_variant_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inject", "bfs", "--engines", "fort-knox"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "unknown engine variant 'fort-knox'" in err
+
+    def test_missed_fault_exits_nonzero(self, capsys, monkeypatch):
+        """A campaign with any MISSED outcome must fail the process."""
+        from repro.faults import campaign as campaign_mod
+        from repro.faults.campaign import Outcome, TrialRecord
+        from repro.faults.plan import FaultKind, InjectionPlan
+
+        real_run = campaign_mod.run_campaign
+
+        def sabotaged(spec, ops=None):
+            report = real_run(spec, ops)
+            report.records.append(
+                TrialRecord(
+                    engine="plutus",
+                    plan=InjectionPlan(
+                        kind=FaultKind.BITFLIP, address=0, trigger_index=1
+                    ),
+                    outcome=Outcome.MISSED,
+                    exception=None,
+                    detail="synthetic miss for the exit-code test",
+                )
+            )
+            return report
+
+        monkeypatch.setattr(
+            "repro.harness.inject.run_campaign", sabotaged
+        )
+        rc = main(["inject", "bfs", "--campaign", "quick",
+                   "--length", "600", "--cache-dir", ""])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "verdict: FAIL" in out
+        assert "MISS:" in out

@@ -64,6 +64,78 @@ class TestTraceCache:
         assert not path.exists()  # corrupt artifact evicted
 
 
+class TestCorruption:
+    """Every mangled entry is a counted miss — never a parse error."""
+
+    def _stored(self, cache):
+        trace = build_trace("bfs", length=60, seed=3)
+        key = DiskCache.trace_key("bfs", 60, 3)
+        cache.store_trace(key, trace)
+        return key, cache._path("trace", key)
+
+    def test_entries_carry_checksum_footer(self, cache):
+        _, path = self._stored(cache)
+        lines = path.read_text().splitlines()
+        assert lines[-1].startswith("#repro-checksum sha256=")
+
+    def test_truncated_payload(self, cache):
+        key, path = self._stored(cache)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert cache.load_trace(key) is None
+        assert cache.corrupt_entries == 1
+        assert not path.exists()
+
+    def test_bit_flipped_payload(self, cache):
+        key, path = self._stored(cache)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 3] ^= 0x10
+        path.write_bytes(bytes(raw))
+        assert cache.load_trace(key) is None
+        assert cache.corrupt_entries == 1
+
+    def test_wrong_version_header(self, cache):
+        # A well-formed entry whose payload fails format validation:
+        # checksum passes, loads_trace rejects. Still a counted miss.
+        key = DiskCache.trace_key("bfs", 60, 3)
+        path = cache._path("trace", key)
+        cache._write_atomic(path, "#repro-vNEXT name=t future-field=1\n")
+        assert cache.load_trace(key) is None
+        assert cache.corrupt_entries == 1
+
+    def test_missing_footer(self, cache):
+        key, path = self._stored(cache)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]))
+        assert cache.load_trace(key) is None
+        assert cache.corrupt_entries == 1
+
+    def test_event_log_corruption_counted(self, cache):
+        from repro.gpu.simulator import simulate_l2 as sim
+
+        trace = build_trace("lbm", length=40, seed=2)
+        log = sim(trace, VOLTA)
+        key = DiskCache.event_log_key(trace, VOLTA)
+        cache.store_event_log(key, log)
+        path = cache._path("events", key)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        path.write_bytes(bytes(raw))
+        assert cache.load_event_log(key) is None
+        assert cache.corrupt_entries == 1
+
+    def test_corruption_bumps_obs_counter(self, cache):
+        from repro.obs import ObsConfig, ObsSession, activate
+
+        key, path = self._stored(cache)
+        text = path.read_text()
+        path.write_text(text[:-5])
+        obs = ObsSession(ObsConfig(enabled=True))
+        with activate(obs):
+            assert cache.load_trace(key) is None
+        assert obs.registry.counter("cache.corrupt_entries").value == 1
+
+
 class TestEventLogCache:
     def test_roundtrip_preserves_replay_inputs(self, cache):
         trace = build_trace("lbm", length=80, seed=5)

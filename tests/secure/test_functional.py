@@ -122,6 +122,36 @@ class TestSplicing:
             memory.read(0x20, 32)
 
 
+class TestViolationContext:
+    """Security exceptions name the engine, op index, and stream."""
+
+    def test_integrity_error_names_engine_and_op(self):
+        mem = SecureMemory(4096, mode="pssm", label="pssm")
+        mem.write(0x0, b"A" * 32)
+        mem.tamper_data(0x0, b"\x01" + b"\x00" * 31)
+        with pytest.raises(IntegrityError) as info:
+            mem.read(0x0, 32)
+        assert info.value.address == 0x0
+        assert info.value.stream == "mac"
+        assert "engine=pssm" in str(info.value)
+        assert "op=" in str(info.value)
+
+    def test_replay_error_names_engine_and_op(self):
+        mem = SecureMemory(4096, mode="pssm", label="victim")
+        mem.write(0x20, b"B" * 32)
+        snapshot = mem.snapshot_sector(0x20)
+        mem.write(0x20, b"C" * 32)
+        mem.replay_sector(0x20, *snapshot)
+        with pytest.raises(ReplayError) as info:
+            mem.read(0x20, 32)
+        assert info.value.address == 0x20
+        assert info.value.stream == "counter"
+        assert "engine=victim" in str(info.value)
+
+    def test_label_defaults_to_mode(self):
+        assert SecureMemory(4096, mode="pssm").label == "pssm"
+
+
 class TestReplay:
     def test_full_snapshot_replay_detected(self, memory):
         memory.write(0x0, b"V1" * 16)

@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from repro.common.errors import TraceError
+from repro.common.errors import TraceError, TraceFormatError
 from repro.workloads.benchmarks import build_trace
 from repro.workloads.trace import Trace, TraceAccess
 from repro.workloads.traceio import (
@@ -44,23 +44,31 @@ class TestRoundtrip:
         assert len(load_trace(buffer)) == 20
 
 
+#: Minimal valid header for hand-built parsing fixtures.
+HEADER = "#repro-trace name=t\n"
+
+
 class TestParsing:
     def test_minimal_line(self):
-        trace = loads_trace("R 0x0 0b0001\n")
+        trace = loads_trace(HEADER + "R 0x0 0b0001\n")
         assert trace.accesses[0].line_addr == 0
         assert not trace.accesses[0].write
 
     def test_hex_image_parsed(self):
         image = bytes(range(32)).hex()
-        trace = loads_trace(f"W 0x80 0b0010 {image}\n")
+        trace = loads_trace(HEADER + f"W 0x80 0b0010 {image}\n")
         assert trace.accesses[0].value_for(1) == bytes(range(32))
 
     def test_dash_skips_image(self):
-        trace = loads_trace("R 0x0 0b0011 - -\n")
+        trace = loads_trace(HEADER + "R 0x0 0b0011 - -\n")
         assert trace.accesses[0].values is None
 
     def test_comments_and_blanks_ignored(self):
-        trace = loads_trace("# hello\n\nR 0x0 0b0001\n")
+        trace = loads_trace(HEADER + "# hello\n\nR 0x0 0b0001\n")
+        assert len(trace) == 1
+
+    def test_footer_accepted(self):
+        trace = loads_trace(HEADER + "R 0x0 0b0001\n#repro-end records=1\n")
         assert len(trace) == 1
 
     def test_header_sets_profile_facts(self):
@@ -79,27 +87,67 @@ class TestParsing:
 class TestErrors:
     def test_bad_direction(self):
         with pytest.raises(TraceError):
-            loads_trace("X 0x0 0b0001\n")
+            loads_trace(HEADER + "X 0x0 0b0001\n")
 
     def test_short_line(self):
         with pytest.raises(TraceError):
-            loads_trace("R 0x0\n")
+            loads_trace(HEADER + "R 0x0\n")
 
     def test_wrong_image_count(self):
         with pytest.raises(TraceError):
-            loads_trace("R 0x0 0b0011 " + "00" * 32 + "\n")
+            loads_trace(HEADER + "R 0x0 0b0011 " + "00" * 32 + "\n")
 
     def test_bad_hex(self):
         with pytest.raises(TraceError):
-            loads_trace("R 0x0 0b0001 zz\n")
+            loads_trace(HEADER + "R 0x0 0b0001 zz\n")
 
     def test_wrong_image_size(self):
         with pytest.raises(TraceError):
-            loads_trace("R 0x0 0b0001 aabb\n")
+            loads_trace(HEADER + "R 0x0 0b0001 aabb\n")
 
     def test_empty_file(self):
         with pytest.raises(TraceError):
-            loads_trace("# nothing here\n")
+            loads_trace(HEADER + "# nothing here\n")
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceFormatError) as info:
+            loads_trace("R 0x0 0b0001\n")
+        assert info.value.line == 1
+        assert "header" in str(info.value)
+
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(TraceFormatError) as info:
+            loads_trace(HEADER + "R 0x0 0b0001\nX 0x80 0b0001\n")
+        assert info.value.line == 3
+        assert str(info.value).startswith("line 3:")
+
+    def test_bad_header_value_names_line(self):
+        with pytest.raises(TraceFormatError) as info:
+            loads_trace("#repro-trace name=t intensity=fast\nR 0x0 0b0001\n")
+        assert info.value.line == 1
+
+    def test_truncated_mid_record_rejected(self):
+        full = dumps_trace(build_trace("bfs", length=12, seed=3))
+        # Chop inside the last record line: its hex image loses bytes.
+        truncated = full[: full.rfind("records=") - len("#repro-end ")]
+        truncated = truncated[:-20]
+        with pytest.raises(TraceFormatError) as info:
+            loads_trace(truncated)
+        assert info.value.line is not None
+
+    def test_truncated_between_records_rejected_by_footer(self):
+        full = dumps_trace(build_trace("bfs", length=12, seed=3))
+        lines = full.splitlines(keepends=True)
+        # Drop one whole record but keep the footer: count mismatch.
+        del lines[-2]
+        with pytest.raises(TraceFormatError) as info:
+            loads_trace("".join(lines))
+        assert "footer declares" in str(info.value)
+
+    def test_misaligned_address_names_line(self):
+        with pytest.raises(TraceFormatError) as info:
+            loads_trace(HEADER + "R 0x7 0b0001\n")
+        assert info.value.line == 2
 
 
 class TestMerge:
