@@ -1,0 +1,151 @@
+"""Functional-crypto oracle: execute a log's fetch decisions for real.
+
+The symbolic engines *account* traffic; :class:`SecureMemory` actually
+encrypts, MACs, and tree-protects data. The conformance oracle bridges
+the two: every fill/writeback decision recorded in a
+:class:`~repro.gpu.simulator.MemoryEventLog` is executed against one
+functional memory per partition, and an honest execution must verify
+end to end — no :class:`~repro.common.errors.SecurityViolation`, every
+read of previously written memory returning exactly the plaintext last
+written there, and the MAC-check accounting closing (every read of
+written memory either MAC-checked or value-verified).
+
+Sector indices are folded into a bounded per-partition memory (the same
+trick :func:`repro.faults.workload.ops_from_trace` uses) so a log that
+touches a 128 MiB partition drives a tractable functional instance;
+the shadow model tracks folded addresses, so aliasing introduced by the
+fold never produces a false mismatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import SecurityViolation
+from repro.gpu.simulator import EventKind, MemoryEventLog
+from repro.secure.functional import SECTOR_BYTES, SecureMemory
+
+#: Default folded size of one partition's functional memory, in sectors.
+DEFAULT_FOLD_SECTORS = 2048
+
+#: Functional modes the oracle exercises: Plutus (AES-XTS + value cache)
+#: and PSSM (counter mode + unconditional MAC).
+FUNCTIONAL_MODES = ("plutus", "pssm")
+
+
+@dataclass
+class FunctionalOutcome:
+    """What one functional mode observed while executing a log."""
+
+    mode: str
+    #: Events actually executed (the cap may stop short of the log).
+    events_consumed: int = 0
+    fills_seen: int = 0
+    writebacks_seen: int = 0
+    reads: int = 0
+    writes: int = 0
+    #: Reads that targeted previously written (folded) addresses.
+    written_reads: int = 0
+    mac_checks: int = 0
+    mac_checks_avoided: int = 0
+    #: Reads whose returned plaintext differed from the shadow model.
+    mismatches: int = 0
+    #: Security exceptions raised by honest (untampered) execution.
+    security_violations: List[str] = field(default_factory=list)
+
+
+def _fill_payload(mode: str, index: int, address: int) -> bytes:
+    """Deterministic sector payload for events without values."""
+    return hashlib.sha256(
+        f"conform:{mode}:{index}:{address:#x}".encode("ascii")
+    ).digest()
+
+
+def execute_log(
+    log: MemoryEventLog,
+    mode: str,
+    fold_sectors: int = DEFAULT_FOLD_SECTORS,
+    max_events: Optional[int] = None,
+) -> FunctionalOutcome:
+    """Execute (a prefix of) the log's events against functional crypto.
+
+    ``max_events`` caps the executed prefix — functional AES in pure
+    Python costs milliseconds per sector, so large logs run a
+    representative slice; the outcome records how much was consumed and
+    the per-slice fill/writeback counts the invariants check against.
+    """
+    if fold_sectors <= 0:
+        raise ValueError("fold_sectors must be positive")
+    outcome = FunctionalOutcome(mode=mode)
+    memories: Dict[int, SecureMemory] = {}
+    shadows: Dict[int, Dict[int, bytes]] = {}
+    size_bytes = fold_sectors * SECTOR_BYTES
+
+    for index, event in enumerate(log.events):
+        if max_events is not None and index >= max_events:
+            break
+        outcome.events_consumed += 1
+        memory = memories.get(event.partition)
+        if memory is None:
+            memory = SecureMemory(
+                size_bytes, mode=mode, label=f"conform-{mode}"
+            )
+            memories[event.partition] = memory
+            shadows[event.partition] = {}
+        shadow = shadows[event.partition]
+        address = (event.sector_index % fold_sectors) * SECTOR_BYTES
+
+        if event.kind is EventKind.WRITEBACK:
+            outcome.writebacks_seen += 1
+            data = event.values
+            if data is None or len(data) != SECTOR_BYTES:
+                data = _fill_payload(mode, index, address)
+            try:
+                memory.write(address, data)
+            except SecurityViolation as exc:
+                outcome.security_violations.append(
+                    f"write op {index}: {exc}"
+                )
+                continue
+            outcome.writes += 1
+            shadow[address] = data
+        else:
+            outcome.fills_seen += 1
+            expected = shadow.get(address)
+            try:
+                plaintext = memory.read(address, SECTOR_BYTES)
+            except SecurityViolation as exc:
+                outcome.security_violations.append(
+                    f"read op {index}: {exc}"
+                )
+                continue
+            outcome.reads += 1
+            if expected is not None:
+                outcome.written_reads += 1
+                if plaintext != expected:
+                    outcome.mismatches += 1
+            elif plaintext != b"\x00" * SECTOR_BYTES:
+                # Never-written memory must read as zeros.
+                outcome.mismatches += 1
+
+    for memory in memories.values():
+        outcome.mac_checks += memory.mac_checks
+        outcome.mac_checks_avoided += memory.mac_checks_avoided
+    return outcome
+
+
+def execute_modes(
+    log: MemoryEventLog,
+    modes=FUNCTIONAL_MODES,
+    fold_sectors: int = DEFAULT_FOLD_SECTORS,
+    max_events: Optional[int] = None,
+) -> Dict[str, FunctionalOutcome]:
+    """Execute the log under every requested functional mode."""
+    return {
+        mode: execute_log(
+            log, mode, fold_sectors=fold_sectors, max_events=max_events
+        )
+        for mode in modes
+    }

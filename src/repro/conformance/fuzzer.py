@@ -1,0 +1,363 @@
+"""Seeded adversarial-trace fuzzer with ddmin shrinking.
+
+The fuzzer builds :class:`MemoryEventLog` instances directly — below
+the L2, so it can express DRAM-side patterns no cache pass would emit —
+and feeds each one to the differential oracle. Patterns target the
+mechanisms most likely to disagree across engines:
+
+* ``alias`` — sectors exactly one fold apart, so the functional
+  oracle's bounded memory sees colliding addresses and the metadata
+  caches see conflicting sets;
+* ``write-storm`` — long writeback runs against a handful of sectors,
+  saturating compact counters (adaptive disable, mirror-layer double
+  accesses) and driving split-counter minor overflow re-encryption;
+* ``value-thrash`` — every fill carries a fresh value, defeating the
+  value cache entirely;
+* ``value-hot`` — a two-value pool, maximizing value-cache hits and
+  MAC avoidance;
+* ``sweep`` and ``uniform`` — regular and mixed baselines.
+
+Failures are shrunk with :func:`shrink`, a generic ddmin over the event
+list: it works for any predicate, so tests can inject synthetic
+failure conditions without running the full oracle.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.conformance.invariants import Violation, check_run
+from repro.conformance.matrix import (
+    CONFORMANCE_ENGINES,
+    DEFAULT_FUNCTIONAL_EVENTS,
+    run_matrix,
+)
+from repro.gpu.config import VOLTA, GpuConfig
+from repro.gpu.simulator import EventKind, MemoryEvent, MemoryEventLog
+
+#: Fold distance used by the alias pattern (matches the functional
+#: oracle's default bounded-memory size, in sectors).
+ALIAS_STRIDE = 2048
+
+#: Pattern names the fuzzer draws from, uniformly per iteration.
+PATTERNS = (
+    "uniform",
+    "alias",
+    "write-storm",
+    "value-thrash",
+    "value-hot",
+    "sweep",
+)
+
+
+def _value(rng: random.Random) -> bytes:
+    return rng.getrandbits(256).to_bytes(32, "little")
+
+
+def _partitions(rng: random.Random) -> List[int]:
+    count = rng.randint(1, 4)
+    return rng.sample(range(32), count)
+
+
+def _finish(
+    name: str,
+    events: List[MemoryEvent],
+    counter_warmup_passes: int,
+) -> MemoryEventLog:
+    log = MemoryEventLog(
+        trace_name=name,
+        memory_intensity=0.5,
+        instructions=max(1, len(events)),
+        counter_warmup_passes=counter_warmup_passes,
+        events=events,
+    )
+    for event in events:
+        if event.kind is EventKind.FILL:
+            log.fill_sectors += 1
+        else:
+            log.writeback_sectors += 1
+    return log
+
+
+def _gen_uniform(rng: random.Random, name: str) -> MemoryEventLog:
+    partitions = _partitions(rng)
+    base = rng.randrange(0, 4096)
+    sectors = [base + i for i in range(rng.randint(8, 64))]
+    pool = [_value(rng) for _ in range(16)]
+    events = []
+    for _ in range(rng.randint(80, 240)):
+        kind = EventKind.FILL if rng.random() < 0.6 else EventKind.WRITEBACK
+        values: Optional[bytes] = rng.choice(pool)
+        if rng.random() < 0.1:
+            values = None  # Events can lose values (e.g. merged traces).
+        events.append(
+            MemoryEvent(kind, rng.choice(partitions), rng.choice(sectors),
+                        values)
+        )
+    return _finish(name, events, rng.randint(0, 3))
+
+
+def _gen_alias(rng: random.Random, name: str) -> MemoryEventLog:
+    partitions = _partitions(rng)
+    base = rng.randrange(0, ALIAS_STRIDE)
+    rungs = [base + k * ALIAS_STRIDE for k in range(rng.randint(2, 4))]
+    pool = [_value(rng) for _ in range(8)]
+    events = []
+    for _ in range(rng.randint(80, 200)):
+        partition = rng.choice(partitions)
+        sector = rng.choice(rungs)
+        if rng.random() < 0.5:
+            events.append(
+                MemoryEvent(EventKind.WRITEBACK, partition, sector,
+                            rng.choice(pool))
+            )
+        else:
+            events.append(
+                MemoryEvent(EventKind.FILL, partition, sector,
+                            rng.choice(pool))
+            )
+    return _finish(name, events, rng.randint(0, 3))
+
+
+def _gen_write_storm(rng: random.Random, name: str) -> MemoryEventLog:
+    partitions = _partitions(rng)
+    base = rng.randrange(0, 4096)
+    sectors = [base + i for i in range(rng.randint(2, 5))]
+    pool = [_value(rng) for _ in range(4)]
+    events = []
+    # Enough writes per sector to saturate compact counters and force
+    # split-counter minor overflow (64 writes) during replay or warmup.
+    for _ in range(rng.randint(140, 240)):
+        events.append(
+            MemoryEvent(EventKind.WRITEBACK, rng.choice(partitions),
+                        rng.choice(sectors), rng.choice(pool))
+        )
+    for sector in sectors:
+        events.append(
+            MemoryEvent(EventKind.FILL, rng.choice(partitions), sector,
+                        rng.choice(pool))
+        )
+    return _finish(name, events, rng.randint(0, 20))
+
+
+def _gen_value_thrash(rng: random.Random, name: str) -> MemoryEventLog:
+    partitions = _partitions(rng)
+    base = rng.randrange(0, 4096)
+    sectors = [base + i for i in range(rng.randint(32, 96))]
+    events = []
+    for _ in range(rng.randint(100, 240)):
+        events.append(
+            MemoryEvent(EventKind.FILL, rng.choice(partitions),
+                        rng.choice(sectors), _value(rng))
+        )
+    return _finish(name, events, rng.randint(0, 3))
+
+
+def _gen_value_hot(rng: random.Random, name: str) -> MemoryEventLog:
+    partitions = _partitions(rng)
+    base = rng.randrange(0, 4096)
+    sectors = [base + i for i in range(rng.randint(4, 16))]
+    pool = [_value(rng) for _ in range(2)]
+    events = []
+    for _ in range(rng.randint(100, 240)):
+        kind = EventKind.FILL if rng.random() < 0.7 else EventKind.WRITEBACK
+        events.append(
+            MemoryEvent(kind, rng.choice(partitions), rng.choice(sectors),
+                        rng.choice(pool))
+        )
+    return _finish(name, events, rng.randint(0, 3))
+
+
+def _gen_sweep(rng: random.Random, name: str) -> MemoryEventLog:
+    partitions = _partitions(rng)
+    base = rng.randrange(0, 4096)
+    length = rng.randint(40, 120)
+    pool = [_value(rng) for _ in range(8)]
+    events = []
+    for i in range(length):
+        events.append(
+            MemoryEvent(EventKind.FILL, partitions[i % len(partitions)],
+                        base + i, rng.choice(pool))
+        )
+    for i in range(length):
+        events.append(
+            MemoryEvent(EventKind.WRITEBACK, partitions[i % len(partitions)],
+                        base + i, rng.choice(pool))
+        )
+    return _finish(name, events, rng.randint(0, 3))
+
+
+_GENERATORS: Dict[str, Callable[[random.Random, str], MemoryEventLog]] = {
+    "uniform": _gen_uniform,
+    "alias": _gen_alias,
+    "write-storm": _gen_write_storm,
+    "value-thrash": _gen_value_thrash,
+    "value-hot": _gen_value_hot,
+    "sweep": _gen_sweep,
+}
+
+
+def generate_log(
+    pattern: str, rng: random.Random, name: str
+) -> MemoryEventLog:
+    """Build one adversarial event log for a named pattern."""
+    try:
+        generator = _GENERATORS[pattern]
+    except KeyError:
+        raise KeyError(
+            f"unknown fuzz pattern {pattern!r}; known: {sorted(_GENERATORS)}"
+        ) from None
+    return generator(rng, name)
+
+
+def rebuild_log(
+    log: MemoryEventLog, events: Sequence[MemoryEvent]
+) -> MemoryEventLog:
+    """A copy of *log* holding exactly *events*, with counts recomputed."""
+    return _finish(log.trace_name, list(events), log.counter_warmup_passes)
+
+
+def shrink(
+    log: MemoryEventLog,
+    predicate: Callable[[MemoryEventLog], bool],
+) -> MemoryEventLog:
+    """ddmin: a minimal event sub-list still satisfying *predicate*.
+
+    *predicate* receives a rebuilt log (sector counts recomputed) and
+    returns True while the log still fails. The result is 1-minimal in
+    the ddmin sense: removing any single tried chunk breaks the
+    predicate. The original *log* is never mutated.
+    """
+    events = list(log.events)
+    if not predicate(rebuild_log(log, events)):
+        raise ValueError("original log does not satisfy the predicate")
+    granularity = 2
+    while len(events) >= 2:
+        chunk = max(1, (len(events) + granularity - 1) // granularity)
+        reduced = False
+        for start in range(0, len(events), chunk):
+            candidate = events[:start] + events[start + chunk:]
+            if not candidate:
+                continue
+            if predicate(rebuild_log(log, candidate)):
+                events = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(events):
+                break
+            granularity = min(len(events), granularity * 2)
+    return rebuild_log(log, events)
+
+
+@dataclass
+class FuzzFailure:
+    """One fuzz iteration that violated a universal invariant."""
+
+    iteration: int
+    pattern: str
+    violations: List[Violation]
+    log: MemoryEventLog
+    #: The ddmin-minimized reproducer (equals ``log`` if not shrunk).
+    shrunk: MemoryEventLog
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one seeded fuzz campaign."""
+
+    iterations: int
+    seed: int
+    pattern_counts: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def evaluate_log(
+    log: MemoryEventLog,
+    config: GpuConfig = VOLTA,
+    engines: Sequence[str] = CONFORMANCE_ENGINES,
+    functional_events: Optional[int] = DEFAULT_FUNCTIONAL_EVENTS,
+    check_parallel: bool = True,
+) -> List[Violation]:
+    """Run the universal-invariant oracle on one (adversarial) log."""
+    run = run_matrix(
+        log,
+        config=config,
+        engines=engines,
+        claims_apply=False,
+        check_parallel=check_parallel,
+        functional_events=functional_events,
+    )
+    return check_run(run)
+
+
+def fuzz(
+    iterations: int,
+    seed: int,
+    config: GpuConfig = VOLTA,
+    engines: Sequence[str] = CONFORMANCE_ENGINES,
+    functional_events: Optional[int] = DEFAULT_FUNCTIONAL_EVENTS,
+    shrink_failures: bool = True,
+    on_iteration: Optional[Callable[[int, str], None]] = None,
+) -> FuzzReport:
+    """Run a seeded fuzz campaign against the universal invariants.
+
+    Each iteration derives its own RNG from (seed, iteration), so any
+    failure is reproducible in isolation from its iteration number.
+    Failing logs are ddmin-shrunk against the same oracle (with the
+    parallel cross-check disabled during shrinking — it dominates the
+    per-candidate cost and the shrunk log is re-checked in full).
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    report = FuzzReport(iterations=iterations, seed=seed)
+    for iteration in range(iterations):
+        rng = random.Random(seed * 1_000_003 + iteration)
+        pattern = rng.choice(PATTERNS)
+        report.pattern_counts[pattern] = (
+            report.pattern_counts.get(pattern, 0) + 1
+        )
+        if on_iteration is not None:
+            on_iteration(iteration, pattern)
+        name = f"fuzz-s{seed}-i{iteration}-{pattern}"
+        log = generate_log(pattern, rng, name)
+        violations = evaluate_log(
+            log, config=config, engines=engines,
+            functional_events=functional_events,
+        )
+        if not violations:
+            continue
+        shrunk = log
+        if shrink_failures:
+            def still_failing(candidate: MemoryEventLog) -> bool:
+                return bool(
+                    evaluate_log(
+                        candidate, config=config, engines=engines,
+                        functional_events=functional_events,
+                        check_parallel=False,
+                    )
+                )
+
+            try:
+                shrunk = shrink(log, still_failing)
+            except ValueError:
+                # Only the parallel cross-check failed; nothing to
+                # shrink against the serial-only oracle.
+                shrunk = log
+        report.failures.append(
+            FuzzFailure(
+                iteration=iteration,
+                pattern=pattern,
+                violations=violations,
+                log=log,
+                shrunk=shrunk,
+            )
+        )
+    return report

@@ -35,7 +35,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, fields, replace
 from enum import Enum
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.common.errors import SimulationError
 from repro.gpu.config import GpuConfig
@@ -676,3 +676,33 @@ def simulate(
     return replay_events(
         simulate_l2(trace, config), engine_factory, config, workers=workers
     )
+
+
+def replay_matrix(
+    log: MemoryEventLog,
+    factories: "Mapping[str, EngineFactory]",
+    config: GpuConfig,
+    counter_warmup_passes: "int | None" = None,
+    workers: "int | None" = 1,
+    shard_timeout: "float | None" = None,
+) -> "Dict[str, SimulationResult]":
+    """Replay one event log through a whole matrix of engine designs.
+
+    This is the stable entry point differential tooling builds on (see
+    :mod:`repro.conformance`): the *same* log — and therefore the exact
+    same data-side decisions — drives every named factory, so any
+    divergence between the returned results is attributable to the
+    engines alone. Results are keyed and ordered like *factories*;
+    every replay is independent (engines never share state).
+    """
+    results: Dict[str, SimulationResult] = {}
+    for key, factory in factories.items():
+        results[key] = replay_events(
+            log,
+            factory,
+            config,
+            counter_warmup_passes=counter_warmup_passes,
+            workers=workers,
+            shard_timeout=shard_timeout,
+        )
+    return results

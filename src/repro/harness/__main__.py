@@ -16,6 +16,15 @@ an adversarial fault-injection campaign against the secure-memory model
 and prints the detection matrix, exiting 1 if any injected fault is
 missed; see docs/ARCHITECTURE.md § Fault model & injection.
 
+``python -m repro.harness conform [--corpus|--fuzz N] [--update]`` runs
+the differential conformance subsystem — golden corpus, cross-engine
+invariants, seeded trace fuzzer — and exits 1 on any invariant
+violation or snapshot drift; see docs/ARCHITECTURE.md § Conformance.
+
+``python -m repro.harness list`` enumerates every key the other
+subcommands accept (benchmarks, engine design points, experiments,
+fault campaigns, fuzz patterns, conformance invariants).
+
 Unknown experiment, benchmark, or engine keys exit with status 2 and a
 one-line message naming the known keys — never a traceback.
 """
@@ -218,6 +227,105 @@ def inject_main(argv) -> int:
     return 0 if outcome.ok else 1
 
 
+def conform_main(argv) -> int:
+    """Parse and run the ``conform`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness conform",
+        description="Differential conformance: replay event logs through "
+                    "the full engine matrix and check the declared "
+                    "cross-engine invariants.",
+    )
+    parser.add_argument(
+        "--corpus", action="store_true",
+        help="verify the committed golden corpus (the default when no "
+             "stage is selected)",
+    )
+    parser.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="additionally run N seeded fuzz iterations against the "
+             "universal invariants",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate the corpus .events/.snap files from their specs "
+             "(still runs the invariant oracle)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2023, help="fuzz campaign seed"
+    )
+    parser.add_argument(
+        "--corpus-dir", default=None, metavar="PATH",
+        help="corpus location (default: tests/conformance/corpus)",
+    )
+    parser.add_argument(
+        "--functional-events", type=int, default=None, metavar="N",
+        help="cap on events the functional-crypto oracle executes per "
+             "mode (default 240; pure-Python AES is slow)",
+    )
+    args = parser.parse_args(argv)
+    if args.fuzz < 0:
+        parser.error("--fuzz must be >= 0")
+
+    from pathlib import Path
+
+    from repro.conformance.matrix import DEFAULT_FUNCTIONAL_EVENTS
+    from repro.conformance.report import render_corpus, render_fuzz
+    from repro.harness.conform import run_conform
+
+    run_corpus_stage = args.corpus or args.update or args.fuzz == 0
+    try:
+        outcome = run_conform(
+            corpus=run_corpus_stage,
+            fuzz_iterations=args.fuzz,
+            seed=args.seed,
+            update=args.update,
+            corpus_dir=Path(args.corpus_dir) if args.corpus_dir else None,
+            functional_events=(
+                args.functional_events
+                if args.functional_events is not None
+                else DEFAULT_FUNCTIONAL_EVENTS
+            ),
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if outcome.corpus is not None:
+        print(render_corpus(outcome.corpus))
+    if outcome.fuzz is not None:
+        print(render_fuzz(outcome.fuzz))
+    return 0 if outcome.ok else 1
+
+
+def list_main(argv) -> int:
+    """Parse and run the ``list`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness list",
+        description="Enumerate the keys every subcommand accepts.",
+    )
+    parser.parse_args(argv)
+
+    from repro.conformance.corpus import CORPUS
+    from repro.conformance.fuzzer import PATTERNS
+    from repro.conformance.report import render_invariant_table
+    from repro.faults.campaign import CAMPAIGNS
+    from repro.faults.plan import ENGINE_VARIANTS
+
+    def section(title, keys):
+        print(f"{title}:")
+        for key in keys:
+            print(f"  {key}")
+
+    section("benchmarks", benchmark_names())
+    section("engines", sorted(engine_factories()))
+    section("experiments", sorted(EXPERIMENTS))
+    section("fault campaigns", sorted(CAMPAIGNS))
+    section("fault engine variants", sorted(ENGINE_VARIANTS))
+    section("fuzz patterns", PATTERNS)
+    section("corpus entries", (spec.name for spec in CORPUS))
+    print(render_invariant_table())
+    return 0
+
+
 def main(argv=None) -> int:
     """Parse arguments, run the selected experiments, print reports."""
     if argv is None:
@@ -226,6 +334,10 @@ def main(argv=None) -> int:
         return profile_main(argv[1:])
     if argv and argv[0] == "inject":
         return inject_main(argv[1:])
+    if argv and argv[0] == "conform":
+        return conform_main(argv[1:])
+    if argv and argv[0] == "list":
+        return list_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Reproduce the Plutus paper's tables and figures.",

@@ -27,13 +27,24 @@ original.
 from __future__ import annotations
 
 import io
-from typing import TYPE_CHECKING, Iterable, List, TextIO, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    TextIO,
+    Tuple,
+    Union,
+)
 
 from repro.common.errors import TraceError, TraceFormatError
 from repro.workloads.trace import Trace, TraceAccess
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (gpu -> workloads)
     from repro.gpu.simulator import MemoryEventLog
+    from repro.mem.traffic import TrafficReport
 
 _HEADER_PREFIX = "#repro-trace"
 _EVENTS_HEADER_PREFIX = "#repro-events"
@@ -362,6 +373,155 @@ def load_event_log(fp: TextIO, name: str = "imported") -> "MemoryEventLog":
 def loads_event_log(text: str, name: str = "imported") -> "MemoryEventLog":
     """Parse an event log from a string."""
     return load_event_log(io.StringIO(text), name=name)
+
+
+_TRAFFIC_HEADER_PREFIX = "#repro-traffic"
+
+
+def dump_traffic_reports(
+    reports: "Mapping[str, TrafficReport]",
+    fp: TextIO,
+    name: str = "snapshot",
+) -> None:
+    """Serialize per-engine traffic reports as snapshot sections.
+
+    One ``#repro-traffic`` section per engine, in mapping order; inside a
+    section, one ``<stream> <bytes> <transactions>`` line per stream that
+    carried any traffic (absent streams reload as zero), closed by the
+    shared ``#repro-end records=N`` footer so truncation inside a section
+    is detected. This is the golden-snapshot format of the conformance
+    corpus (see :mod:`repro.conformance.corpus`).
+    """
+    from repro.mem.traffic import Stream
+
+    if any(ch.isspace() for ch in name):
+        raise TraceError("snapshot name cannot contain whitespace")
+    for engine, report in reports.items():
+        if not engine or any(ch.isspace() for ch in engine):
+            raise TraceError(f"bad engine key {engine!r} in snapshot")
+        lines = [
+            (stream.value, report.bytes_by_stream[stream],
+             report.transactions_by_stream[stream])
+            for stream in Stream
+            if report.bytes_by_stream[stream]
+            or report.transactions_by_stream[stream]
+        ]
+        fp.write(f"{_TRAFFIC_HEADER_PREFIX} name={name} engine={engine}\n")
+        for stream_value, nbytes, transactions in lines:
+            fp.write(f"{stream_value} {nbytes} {transactions}\n")
+        fp.write(f"{_FOOTER_PREFIX} records={len(lines)}\n")
+
+
+def dumps_traffic_reports(
+    reports: "Mapping[str, TrafficReport]", name: str = "snapshot"
+) -> str:
+    """Serialize per-engine traffic reports to a string."""
+    buffer = io.StringIO()
+    dump_traffic_reports(reports, buffer, name=name)
+    return buffer.getvalue()
+
+
+def load_traffic_reports(fp: TextIO) -> "Dict[str, TrafficReport]":
+    """Parse engine-keyed traffic-report sections from a text stream.
+
+    Returns the reports in file order. Malformed records, unknown stream
+    names, duplicate engine sections, and footer/record-count mismatches
+    raise :class:`~repro.common.errors.TraceFormatError` with the
+    offending line number.
+    """
+    from repro.mem.traffic import Stream, TrafficReport
+
+    reports: Dict[str, TrafficReport] = {}
+    engine = None
+    bytes_by_stream: Dict[Stream, int] = {}
+    transactions_by_stream: Dict[Stream, int] = {}
+    records = 0
+
+    def close_section(line_no: int, expected: Optional[int]) -> None:
+        if engine is None:
+            return
+        if expected is not None and expected != records:
+            raise TraceFormatError(
+                f"footer declares {expected} records but section "
+                f"{engine!r} contains {records} (truncated file?)",
+                line=line_no,
+            )
+        reports[engine] = TrafficReport(
+            bytes_by_stream=bytes_by_stream,
+            transactions_by_stream=transactions_by_stream,
+        )
+
+    for line_no, raw in enumerate(fp, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(_TRAFFIC_HEADER_PREFIX):
+            close_section(line_no, None)
+            header = _parse_header_fields(line[len(_TRAFFIC_HEADER_PREFIX):])
+            engine = header.get("engine")
+            if not engine:
+                raise TraceFormatError(
+                    "traffic section header is missing engine=", line=line_no
+                )
+            if engine in reports:
+                raise TraceFormatError(
+                    f"duplicate traffic section for engine {engine!r}",
+                    line=line_no,
+                )
+            bytes_by_stream = {}
+            transactions_by_stream = {}
+            records = 0
+            continue
+        if line.startswith(_FOOTER_PREFIX):
+            close_section(line_no, _parse_footer(line_no, line))
+            engine = None
+            continue
+        if line.startswith("#"):
+            continue
+        if engine is None:
+            raise TraceFormatError(
+                f"record before the '{_TRAFFIC_HEADER_PREFIX}' header "
+                "(missing or misplaced header line)",
+                line=line_no,
+            )
+        tokens = line.split()
+        if len(tokens) != 3:
+            raise TraceFormatError(
+                "expected '<stream> <bytes> <transactions>'", line=line_no
+            )
+        try:
+            stream = Stream(tokens[0])
+        except ValueError:
+            raise TraceFormatError(
+                f"unknown traffic stream {tokens[0]!r}", line=line_no
+            ) from None
+        try:
+            nbytes = int(tokens[1])
+            transactions = int(tokens[2])
+        except ValueError as exc:
+            raise TraceFormatError(str(exc), line=line_no) from None
+        if stream in bytes_by_stream:
+            raise TraceFormatError(
+                f"duplicate stream {stream.value!r} in section", line=line_no
+            )
+        if nbytes < 0 or transactions < 0:
+            raise TraceFormatError("negative traffic entry", line=line_no)
+        bytes_by_stream[stream] = nbytes
+        transactions_by_stream[stream] = transactions
+        records += 1
+    if engine is not None:
+        raise TraceFormatError(
+            f"unterminated traffic section {engine!r} "
+            f"(missing '{_FOOTER_PREFIX}' footer)"
+        )
+    if not reports:
+        raise TraceFormatError("snapshot file contains no traffic sections")
+    return reports
+
+
+def loads_traffic_reports(text: str) -> "Dict[str, TrafficReport]":
+    """Parse engine-keyed traffic-report sections from a string."""
+    return load_traffic_reports(io.StringIO(text))
 
 
 def merge_traces(traces: Iterable[Trace], name: str = "merged") -> Trace:

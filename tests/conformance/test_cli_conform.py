@@ -1,0 +1,65 @@
+"""CLI tests for the ``conform`` and ``list`` subcommands."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestConformCli:
+    def test_fuzz_only_campaign_passes(self, capsys):
+        rc = main(["conform", "--fuzz", "2", "--seed", "9",
+                   "--functional-events", "24"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fuzz verdict: PASS" in out
+        assert "corpus" not in out
+
+    def test_fuzz_report_names_seed_and_patterns(self, capsys):
+        rc = main(["conform", "--fuzz", "1", "--seed", "31",
+                   "--functional-events", "16"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "seed 31" in out
+
+    def test_negative_fuzz_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["conform", "--fuzz", "-1"])
+        assert excinfo.value.code == 2
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["conform", "--doom"])
+        assert excinfo.value.code == 2
+
+    def test_missing_corpus_dir_exits_nonzero(self, tmp_path, capsys):
+        rc = main(["conform", "--corpus",
+                   "--corpus-dir", str(tmp_path / "nowhere"),
+                   "--functional-events", "16"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "missing" in out
+        assert "FAIL" in out
+
+
+class TestListCli:
+    def test_lists_every_key_family(self, capsys):
+        rc = main(["list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for heading in (
+            "benchmarks:", "engines:", "experiments:", "fault campaigns:",
+            "fuzz patterns:", "corpus entries:", "invariants:",
+        ):
+            assert heading in out
+
+    def test_names_design_points_and_benchmarks(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "plutus" in out
+        assert "bfs" in out
+        assert "plutus-leq-pssm" in out
+
+    def test_rejects_arguments(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["list", "--doom"])
+        assert excinfo.value.code == 2

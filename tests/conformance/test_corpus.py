@@ -1,0 +1,169 @@
+"""Golden-corpus tests: verification, drift detection, regeneration."""
+
+import shutil
+
+import pytest
+
+from repro.conformance.corpus import (
+    CORPUS,
+    default_corpus_dir,
+    events_path,
+    run_corpus,
+    snapshot_path,
+)
+
+FUZZ_SPECS = tuple(spec for spec in CORPUS if spec.kind == "fuzz")
+FAST_FUNCTIONAL = 24
+
+
+def _copy_entries(tmp_path, specs):
+    src = default_corpus_dir()
+    for spec in specs:
+        shutil.copy(events_path(src, spec.name), tmp_path)
+        shutil.copy(snapshot_path(src, spec.name), tmp_path)
+    return tmp_path
+
+
+class TestCommittedCorpus:
+    def test_corpus_declares_six_entries(self):
+        assert len(CORPUS) == 6
+        assert {spec.kind for spec in CORPUS} == {"benchmark", "fuzz"}
+
+    def test_claims_asserted_only_on_benchmark_entries(self):
+        for spec in CORPUS:
+            assert spec.claims_apply == (spec.kind == "benchmark")
+
+    def test_committed_files_exist(self):
+        root = default_corpus_dir()
+        for spec in CORPUS:
+            assert events_path(root, spec.name).exists()
+            assert snapshot_path(root, spec.name).exists()
+
+    def test_adversarial_entries_verify_clean(self):
+        outcome = run_corpus(
+            specs=FUZZ_SPECS, functional_events=FAST_FUNCTIONAL
+        )
+        assert outcome.ok
+        assert [entry.name for entry in outcome.entries] == [
+            spec.name for spec in FUZZ_SPECS
+        ]
+
+
+class TestDriftDetection:
+    def test_numeric_corruption_reported_as_drift(self, tmp_path):
+        root = _copy_entries(tmp_path, FUZZ_SPECS[:1])
+        spec = FUZZ_SPECS[0]
+        snap = snapshot_path(root, spec.name)
+        text = snap.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if not line.startswith("#"):
+                stream, nbytes, ntx = line.split()
+                lines[i] = f"{stream} {int(nbytes) + 32} {int(ntx) + 1}"
+                break
+        snap.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        outcome = run_corpus(
+            corpus_dir=root, specs=(spec,),
+            functional_events=FAST_FUNCTIONAL,
+        )
+        assert not outcome.ok
+        assert outcome.entries[0].drift
+        assert "drifted" in outcome.entries[0].drift[0]
+
+    def test_unparseable_snapshot_reported_not_raised(self, tmp_path):
+        root = _copy_entries(tmp_path, FUZZ_SPECS[:1])
+        spec = FUZZ_SPECS[0]
+        snap = snapshot_path(root, spec.name)
+        snap.write_text("#repro-traffic name=x engine=y\n", encoding="utf-8")
+        outcome = run_corpus(
+            corpus_dir=root, specs=(spec,),
+            functional_events=FAST_FUNCTIONAL,
+        )
+        assert not outcome.ok
+        assert "unparseable" in outcome.entries[0].drift[0]
+
+    def test_missing_files_reported(self, tmp_path):
+        outcome = run_corpus(
+            corpus_dir=tmp_path, specs=FUZZ_SPECS[:1],
+            functional_events=FAST_FUNCTIONAL,
+        )
+        assert not outcome.ok
+        assert outcome.entries[0].missing
+
+
+class TestRegeneration:
+    def test_update_writes_files_that_then_verify(self, tmp_path):
+        spec = next(s for s in FUZZ_SPECS if s.name == "value-thrash")
+        updated = run_corpus(
+            corpus_dir=tmp_path, specs=(spec,), update=True,
+            functional_events=FAST_FUNCTIONAL,
+        )
+        assert updated.ok
+        assert updated.entries[0].updated
+        assert events_path(tmp_path, spec.name).exists()
+        assert snapshot_path(tmp_path, spec.name).exists()
+
+        verified = run_corpus(
+            corpus_dir=tmp_path, specs=(spec,),
+            functional_events=FAST_FUNCTIONAL,
+        )
+        assert verified.ok
+
+    def test_update_is_deterministic(self, tmp_path):
+        spec = next(s for s in FUZZ_SPECS if s.name == "write-storm")
+        a_dir = tmp_path / "a"
+        b_dir = tmp_path / "b"
+        for target in (a_dir, b_dir):
+            run_corpus(
+                corpus_dir=target, specs=(spec,), update=True,
+                functional_events=FAST_FUNCTIONAL,
+            )
+        assert (
+            events_path(a_dir, spec.name).read_text()
+            == events_path(b_dir, spec.name).read_text()
+        )
+        assert (
+            snapshot_path(a_dir, spec.name).read_text()
+            == snapshot_path(b_dir, spec.name).read_text()
+        )
+
+    def test_committed_corpus_matches_specs(self):
+        # The committed .events files must be exactly what --update
+        # would regenerate: anything else means the corpus and its
+        # specs have drifted apart.
+        import io
+
+        from repro.conformance.corpus import build_spec_log
+        from repro.workloads.traceio import dumps_event_log
+
+        root = default_corpus_dir()
+        for spec in FUZZ_SPECS:
+            committed = events_path(root, spec.name).read_text(
+                encoding="utf-8"
+            )
+            rebuilt = dumps_event_log(build_spec_log(spec))
+            assert committed == rebuilt, spec.name
+
+
+@pytest.mark.slow
+class TestFullCorpusCli:
+    def test_corrupted_snapshot_fails_cli(self, tmp_path):
+        from repro.harness.__main__ import main
+
+        root = _copy_entries(tmp_path, CORPUS)
+        snap = snapshot_path(root, "bfs-small")
+        text = snap.read_text(encoding="utf-8")
+        lines = text.splitlines()
+        for i, line in enumerate(lines):
+            if not line.startswith("#"):
+                stream, nbytes, ntx = line.split()
+                lines[i] = f"{stream} {int(nbytes) + 3200} {int(ntx) + 100}"
+                break
+        snap.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        rc = main([
+            "conform", "--corpus", "--corpus-dir", str(root),
+            "--functional-events", "24",
+        ])
+        assert rc == 1

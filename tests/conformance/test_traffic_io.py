@@ -1,0 +1,111 @@
+"""Round-trip and validation tests for the traffic-snapshot text IO."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.mem.traffic import Stream, TrafficCounter, TrafficReport
+from repro.workloads.traceio import (
+    TraceFormatError,
+    dumps_traffic_reports,
+    loads_traffic_reports,
+)
+
+
+def _report(**streams) -> TrafficReport:
+    counter = TrafficCounter()
+    for name, (nbytes, ntx) in streams.items():
+        counter.record(Stream(name), nbytes, transactions=ntx)
+    return counter.report()
+
+
+class TestRoundTrip:
+    def test_two_engines_round_trip(self):
+        reports = {
+            "nosec": _report(data_read=(64, 2), data_write=(32, 1)),
+            "plutus": _report(
+                data_read=(64, 2), counter_read=(96, 3), mac_write=(32, 1)
+            ),
+        }
+        text = dumps_traffic_reports(reports, name="unit")
+        loaded = loads_traffic_reports(text)
+        assert set(loaded) == {"nosec", "plutus"}
+        for key, want in reports.items():
+            got = loaded[key]
+            assert got.bytes_by_stream == want.bytes_by_stream
+            assert got.transactions_by_stream == want.transactions_by_stream
+
+    def test_all_zero_report_round_trips(self):
+        text = dumps_traffic_reports({"nosec": _report()}, name="zeros")
+        loaded = loads_traffic_reports(text)
+        assert loaded["nosec"].total_bytes == 0
+        assert loaded["nosec"].total_transactions == 0
+
+    def test_zero_streams_not_materialized(self):
+        text = dumps_traffic_reports(
+            {"nosec": _report(data_read=(32, 1))}, name="sparse"
+        )
+        assert "data_write" not in text
+        assert "records=1" in text
+
+    def test_header_carries_name_and_engine(self):
+        text = dumps_traffic_reports(
+            {"pssm": _report(data_read=(32, 1))}, name="bfs-small"
+        )
+        assert "#repro-traffic name=bfs-small engine=pssm" in text
+
+
+class TestDumpValidation:
+    def test_whitespace_in_engine_key_rejected(self):
+        with pytest.raises(TraceError):
+            dumps_traffic_reports({"bad key": _report()}, name="x")
+
+    def test_whitespace_in_name_rejected(self):
+        with pytest.raises(TraceError):
+            dumps_traffic_reports({"nosec": _report()}, name="bad name")
+
+
+class TestLoadValidation:
+    def _text(self):
+        return dumps_traffic_reports(
+            {"nosec": _report(data_read=(64, 2))}, name="unit"
+        )
+
+    def test_duplicate_engine_rejected(self):
+        text = self._text() + self._text()
+        with pytest.raises(TraceFormatError, match="duplicate"):
+            loads_traffic_reports(text)
+
+    def test_unknown_stream_rejected(self):
+        text = self._text().replace("data_read", "warp_read")
+        with pytest.raises(TraceFormatError, match="warp_read"):
+            loads_traffic_reports(text)
+
+    def test_negative_traffic_rejected(self):
+        text = self._text().replace("data_read 64 2", "data_read -64 2")
+        with pytest.raises(TraceFormatError):
+            loads_traffic_reports(text)
+
+    def test_footer_count_mismatch_rejected(self):
+        text = self._text().replace("records=1", "records=7")
+        with pytest.raises(TraceFormatError, match="records"):
+            loads_traffic_reports(text)
+
+    def test_unterminated_section_rejected(self):
+        text = self._text().rsplit("#repro-end", 1)[0]
+        with pytest.raises(TraceFormatError):
+            loads_traffic_reports(text)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(TraceFormatError):
+            loads_traffic_reports("data_read 64 2\n")
+
+    def test_error_is_a_trace_error(self):
+        # The cache layer catches TraceError to degrade to a miss.
+        with pytest.raises(TraceError):
+            loads_traffic_reports("garbage\n")
+
+    def test_reports_line_numbers(self):
+        text = self._text().replace("data_read 64 2", "data_read 64")
+        with pytest.raises(TraceFormatError) as excinfo:
+            loads_traffic_reports(text)
+        assert excinfo.value.line is not None

@@ -29,6 +29,10 @@ from repro.faults.report import render_campaign
 from repro.faults.workload import synthetic_ops
 from repro.secure.value_cache import ValueCacheConfig
 
+# Full fault campaigns run functional crypto end to end; keep them out
+# of the `-m "not slow"` inner loop (tier-1 still runs everything).
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def quick_report():

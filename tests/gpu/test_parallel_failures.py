@@ -25,6 +25,10 @@ from repro.harness.runner import EngineSpec
 from repro.obs import ObsConfig, ObsSession, activate
 from repro.secure.pssm import PssmEngine
 
+# Each case spins up (and deliberately wrecks) a process pool; keep the
+# suite out of the `-m "not slow"` inner loop (tier-1 runs everything).
+pytestmark = pytest.mark.slow
+
 #: PID of the process that imported this module; forked pool workers
 #: see a different value, which is how the engines below tell "I am in
 #: a worker" from "I am the serial retry".
