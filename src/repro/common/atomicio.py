@@ -1,0 +1,72 @@
+"""Crash-atomic text-file writes.
+
+Every on-disk artifact the harness produces — disk-cache entries, the
+golden corpus, metrics and trace exports, supervised-run reports —
+goes through :func:`atomic_write_text`: the content is written to a
+temporary file in the destination directory and published with
+``os.replace``, so a reader (or a process killed mid-write) observes
+either the old file or the complete new one, never a torn prefix.
+
+``fsync=True`` additionally flushes the file and its directory entry
+before the rename, which protects against power loss at the cost of a
+synchronous disk barrier. Artifacts that are self-validating (the
+checksummed disk cache) skip the fsync; artifacts that *are* the
+source of truth (run journals, reports, the corpus) keep it.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Union
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def fsync_directory(directory: str) -> None:
+    """Best-effort fsync of a directory entry (no-op where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(
+    path: PathLike,
+    text: str,
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> None:
+    """Atomically replace *path* with *text* (temp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses a filesystem boundary. On any failure the
+    temporary file is removed and the original *path* is untouched.
+    """
+    target = os.fspath(path)
+    directory = os.path.dirname(target) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=os.path.basename(target) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_directory(directory)

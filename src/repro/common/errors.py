@@ -13,6 +13,23 @@ prevented eagerly (:class:`CounterOverflowError`).
 
 from __future__ import annotations
 
+#: Centralized CLI exit codes (docs/ARCHITECTURE.md § Resilient
+#: execution). Every ``python -m repro.harness`` subcommand maps its
+#: outcome onto exactly these four values:
+#:
+#: * ``EXIT_OK`` — the run completed and every check passed;
+#: * ``EXIT_FAILURE`` — the run completed but found a violation,
+#:   missed fault, snapshot drift, or benchmark regression;
+#: * ``EXIT_USAGE`` — bad arguments, unknown keys, or a predictable
+#:   environment failure (never a traceback);
+#: * ``EXIT_PARTIAL`` — a supervised run degraded: a resource budget
+#:   was exhausted or work units failed, and the report explicitly
+#:   marks the missing cells.
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -104,3 +121,45 @@ class TraceFormatError(TraceError):
 
 class FaultInjectionError(ReproError):
     """A fault-injection plan or campaign was invalid or inapplicable."""
+
+
+class ResilienceError(ReproError):
+    """A supervised campaign was configured or driven incorrectly."""
+
+
+class JournalError(ResilienceError):
+    """A run journal is missing, unparseable, or names another campaign.
+
+    Raised when ``--resume`` points at an unknown run id, or at a
+    journal whose campaign fingerprint does not match the work being
+    resumed (resuming a *different* sweep would silently merge
+    unrelated results).
+    """
+
+
+class BudgetExceededError(ResilienceError):
+    """A resource budget (wall clock, RSS, tracemalloc) was exhausted.
+
+    The supervisor reacts with graceful degradation — remaining units
+    are cancelled and the run is reported as partial — rather than
+    letting the overrun crash the process.
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        #: Stable, human-readable budget that tripped.
+        self.reason = reason
+
+
+class UnitTimeoutError(ResilienceError):
+    """One supervised work unit exceeded its per-unit wall-clock bound.
+
+    Classified as *retryable* by the supervisor (unlike other
+    :class:`ReproError` subclasses, which are deterministic): a timeout
+    is usually load, not logic.
+    """
+
+    def __init__(self, message: str, timeout_s: "float | None" = None) -> None:
+        super().__init__(message)
+        #: The bound that was exceeded, in seconds (if known).
+        self.timeout_s = timeout_s

@@ -46,11 +46,11 @@ from repro.harness.diskcache import DiskCache
 from repro.mem.traffic import Stream, TrafficReport
 from repro.workloads.benchmarks import build_trace
 from repro.workloads.traceio import (
-    dump_event_log,
     dumps_event_log,
     load_event_log,
-    dump_traffic_reports,
     load_traffic_reports,
+    save_event_log,
+    save_traffic_reports,
 )
 
 
@@ -278,19 +278,15 @@ def run_corpus(
         )
 
         if update:
+            # Atomic per-file replacement: an interrupted --update
+            # leaves the previous golden files intact, never torn ones.
             root.mkdir(parents=True, exist_ok=True)
-            with events_path(root, spec.name).open(
-                "w", encoding="utf-8"
-            ) as fp:
-                dump_event_log(log, fp)
-            with snapshot_path(root, spec.name).open(
-                "w", encoding="utf-8"
-            ) as fp:
-                dump_traffic_reports(
-                    {key: run.results[key].traffic for key in engines},
-                    fp,
-                    name=spec.name,
-                )
+            save_event_log(log, events_path(root, spec.name))
+            save_traffic_reports(
+                {key: run.results[key].traffic for key in engines},
+                snapshot_path(root, spec.name),
+                name=spec.name,
+            )
             entry.updated = True
         else:
             snap = snapshot_path(root, spec.name)

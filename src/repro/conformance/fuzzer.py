@@ -298,32 +298,28 @@ def evaluate_log(
     return check_run(run)
 
 
-def fuzz(
-    iterations: int,
+def _fuzz_range(
+    start: int,
+    stop: int,
     seed: int,
     config: GpuConfig = VOLTA,
     engines: Sequence[str] = CONFORMANCE_ENGINES,
     functional_events: Optional[int] = DEFAULT_FUNCTIONAL_EVENTS,
     shrink_failures: bool = True,
     on_iteration: Optional[Callable[[int, str], None]] = None,
-) -> FuzzReport:
-    """Run a seeded fuzz campaign against the universal invariants.
+) -> Tuple[Dict[str, int], List[FuzzFailure]]:
+    """Run iterations ``[start, stop)`` of a seeded campaign.
 
-    Each iteration derives its own RNG from (seed, iteration), so any
-    failure is reproducible in isolation from its iteration number.
-    Failing logs are ddmin-shrunk against the same oracle (with the
-    parallel cross-check disabled during shrinking — it dominates the
-    per-candidate cost and the shrunk log is re-checked in full).
+    Each iteration derives its own RNG from (seed, iteration), so the
+    result of a range never depends on how the campaign was chunked —
+    the property behind supervised (resumable) fuzzing.
     """
-    if iterations < 1:
-        raise ValueError("iterations must be >= 1")
-    report = FuzzReport(iterations=iterations, seed=seed)
-    for iteration in range(iterations):
+    pattern_counts: Dict[str, int] = {}
+    failures: List[FuzzFailure] = []
+    for iteration in range(start, stop):
         rng = random.Random(seed * 1_000_003 + iteration)
         pattern = rng.choice(PATTERNS)
-        report.pattern_counts[pattern] = (
-            report.pattern_counts.get(pattern, 0) + 1
-        )
+        pattern_counts[pattern] = pattern_counts.get(pattern, 0) + 1
         if on_iteration is not None:
             on_iteration(iteration, pattern)
         name = f"fuzz-s{seed}-i{iteration}-{pattern}"
@@ -351,7 +347,7 @@ def fuzz(
                 # Only the parallel cross-check failed; nothing to
                 # shrink against the serial-only oracle.
                 shrunk = log
-        report.failures.append(
+        failures.append(
             FuzzFailure(
                 iteration=iteration,
                 pattern=pattern,
@@ -360,4 +356,173 @@ def fuzz(
                 shrunk=shrunk,
             )
         )
+    return pattern_counts, failures
+
+
+def fuzz(
+    iterations: int,
+    seed: int,
+    config: GpuConfig = VOLTA,
+    engines: Sequence[str] = CONFORMANCE_ENGINES,
+    functional_events: Optional[int] = DEFAULT_FUNCTIONAL_EVENTS,
+    shrink_failures: bool = True,
+    on_iteration: Optional[Callable[[int, str], None]] = None,
+) -> FuzzReport:
+    """Run a seeded fuzz campaign against the universal invariants.
+
+    Each iteration derives its own RNG from (seed, iteration), so any
+    failure is reproducible in isolation from its iteration number.
+    Failing logs are ddmin-shrunk against the same oracle (with the
+    parallel cross-check disabled during shrinking — it dominates the
+    per-candidate cost and the shrunk log is re-checked in full).
+    """
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    report = FuzzReport(iterations=iterations, seed=seed)
+    report.pattern_counts, report.failures = _fuzz_range(
+        0, iterations, seed,
+        config=config,
+        engines=engines,
+        functional_events=functional_events,
+        shrink_failures=shrink_failures,
+        on_iteration=on_iteration,
+    )
+    return report
+
+
+# -- supervised decomposition -------------------------------------------------
+
+def _event_payload(event: MemoryEvent) -> Dict[str, object]:
+    return {
+        "kind": event.kind.name,
+        "partition": event.partition,
+        "sector": event.sector_index,
+        "values": event.values.hex() if event.values is not None else None,
+    }
+
+
+def _event_from_payload(payload: Dict[str, object]) -> MemoryEvent:
+    values = payload["values"]
+    return MemoryEvent(
+        EventKind[payload["kind"]],
+        payload["partition"],
+        payload["sector"],
+        bytes.fromhex(values) if values is not None else None,
+    )
+
+
+def _failure_payload(failure: FuzzFailure) -> Dict[str, object]:
+    return {
+        "iteration": failure.iteration,
+        "pattern": failure.pattern,
+        "trace_name": failure.log.trace_name,
+        "warmup": failure.log.counter_warmup_passes,
+        "violations": [
+            {"invariant": v.invariant, "message": v.message}
+            for v in failure.violations
+        ],
+        "events": [_event_payload(e) for e in failure.log.events],
+        "shrunk": [_event_payload(e) for e in failure.shrunk.events],
+    }
+
+
+def _failure_from_payload(payload: Dict[str, object]) -> FuzzFailure:
+    name = payload["trace_name"]
+    warmup = payload["warmup"]
+    return FuzzFailure(
+        iteration=payload["iteration"],
+        pattern=payload["pattern"],
+        violations=[
+            Violation(invariant=v["invariant"], message=v["message"])
+            for v in payload["violations"]
+        ],
+        log=_finish(
+            name, [_event_from_payload(e) for e in payload["events"]], warmup
+        ),
+        shrunk=_finish(
+            name, [_event_from_payload(e) for e in payload["shrunk"]], warmup
+        ),
+    )
+
+
+def fuzz_campaign(
+    iterations: int,
+    seed: int,
+    chunk_size: int = 8,
+    config: GpuConfig = VOLTA,
+    engines: Sequence[str] = CONFORMANCE_ENGINES,
+    functional_events: Optional[int] = DEFAULT_FUNCTIONAL_EVENTS,
+    shrink_failures: bool = True,
+):
+    """Decompose a fuzz campaign into chunked, resumable work units.
+
+    Per-iteration seeding makes chunk results independent of the chunk
+    boundaries, so any chunking of the same (iterations, seed) campaign
+    reaches the same verdict; the chunk merely amortizes journal writes
+    over several iterations.
+    """
+    from repro.common.digest import content_digest
+    from repro.resilience import Campaign, WorkUnit
+
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    config_id = content_digest("gpu-config", repr(config))
+
+    def runner_for(start: int, stop: int):
+        def run() -> Dict[str, object]:
+            counts, failures = _fuzz_range(
+                start, stop, seed,
+                config=config,
+                engines=engines,
+                functional_events=functional_events,
+                shrink_failures=shrink_failures,
+            )
+            return {
+                "pattern_counts": counts,
+                "failures": [_failure_payload(f) for f in failures],
+            }
+
+        return run
+
+    units = []
+    for start in range(0, iterations, chunk_size):
+        stop = min(start + chunk_size, iterations)
+        units.append(
+            WorkUnit(
+                kind="fuzz-chunk",
+                params={
+                    "seed": seed,
+                    "start": start,
+                    "stop": stop,
+                    "engines": list(engines),
+                    "functional_events": functional_events,
+                    "shrink": shrink_failures,
+                    "config": config_id,
+                },
+                runner=runner_for(start, stop),
+                label=f"fuzz[{start}:{stop}]",
+            )
+        )
+    return Campaign(name=f"fuzz:s{seed}:n{iterations}", units=units)
+
+
+def fuzz_report_from_outcome(outcome, iterations: int, seed: int) -> FuzzReport:
+    """Merge supervised chunk results back into one :class:`FuzzReport`.
+
+    Chunks lost to failure or degradation contribute nothing here; the
+    supervised outcome itself records which ranges are missing.
+    """
+    report = FuzzReport(iterations=iterations, seed=seed)
+    failures: List[FuzzFailure] = []
+    for payload in outcome.results.values():
+        for pattern, count in payload["pattern_counts"].items():
+            report.pattern_counts[pattern] = (
+                report.pattern_counts.get(pattern, 0) + count
+            )
+        failures.extend(
+            _failure_from_payload(f) for f in payload["failures"]
+        )
+    report.failures = sorted(failures, key=lambda f: f.iteration)
     return report

@@ -350,6 +350,11 @@ class CampaignReport:
     matrix: Dict[Tuple[str, FaultKind], MatrixCell] = field(
         default_factory=dict
     )
+    #: The supervised :class:`~repro.resilience.CampaignOutcome` when
+    #: the campaign ran under a supervisor (``None`` for direct runs).
+    #: A partial outcome means some engines never reported: ``ok`` then
+    #: speaks only for the engines that did.
+    supervision: Optional[object] = None
 
     @property
     def missed(self) -> List[TrialRecord]:
@@ -483,17 +488,122 @@ def _run_engine(
     return records
 
 
+def _plan_payload(plan: InjectionPlan) -> Dict[str, object]:
+    return {
+        "kind": plan.kind.value,
+        "address": plan.address,
+        "trigger_index": plan.trigger_index,
+        "bit": plan.bit,
+        "src_address": plan.src_address,
+        "tree_level": plan.tree_level,
+        "stream": plan.stream,
+    }
+
+
+def _plan_from_payload(payload: Dict[str, object]) -> InjectionPlan:
+    return InjectionPlan(
+        kind=FaultKind(payload["kind"]),
+        address=payload["address"],
+        trigger_index=payload["trigger_index"],
+        bit=payload["bit"],
+        src_address=payload["src_address"],
+        tree_level=payload["tree_level"],
+        stream=payload["stream"],
+    )
+
+
+def _record_payload(record: TrialRecord) -> Dict[str, object]:
+    return {
+        "engine": record.engine,
+        "plan": _plan_payload(record.plan),
+        "outcome": record.outcome.value,
+        "exception": record.exception,
+        "detail": record.detail,
+    }
+
+
+def _record_from_payload(payload: Dict[str, object]) -> TrialRecord:
+    return TrialRecord(
+        engine=payload["engine"],
+        plan=_plan_from_payload(payload["plan"]),
+        outcome=Outcome(payload["outcome"]),
+        exception=payload["exception"],
+        detail=payload["detail"],
+    )
+
+
+def engine_campaign(
+    spec: CampaignSpec, ops: Sequence[Op], plans: Sequence[InjectionPlan]
+):
+    """Decompose one fault campaign into per-engine work units.
+
+    The engine is the natural unit: state forking amortizes the op
+    prefix within one engine, while engines share nothing. Identity
+    covers the campaign spec plus digests of the concrete ops and
+    plans, so a journaled engine result is only reused against the
+    exact same attack.
+    """
+    from repro.common.digest import content_digest
+    from repro.resilience import Campaign, WorkUnit
+
+    ops_id = content_digest("fault-ops", *(repr(op) for op in ops))
+    plans_id = content_digest("fault-plans", *(repr(p) for p in plans))
+
+    def runner_for(engine_name: str):
+        def run() -> List[Dict[str, object]]:
+            return [
+                _record_payload(r)
+                for r in _run_engine(engine_name, spec, ops, plans)
+            ]
+
+        return run
+
+    units = [
+        WorkUnit(
+            kind="fault-engine",
+            params={
+                "campaign": spec.name,
+                "seed": spec.seed,
+                "engine": engine_name,
+                "ops": ops_id,
+                "plans": plans_id,
+            },
+            runner=runner_for(engine_name),
+            label=f"{spec.name}:{engine_name}",
+        )
+        for engine_name in spec.engines
+    ]
+    return Campaign(name=f"faults:{spec.name}", units=units)
+
+
 def run_campaign(
-    spec: CampaignSpec, ops: Optional[Sequence[Op]] = None
+    spec: CampaignSpec,
+    ops: Optional[Sequence[Op]] = None,
+    supervisor=None,
 ) -> CampaignReport:
-    """Mount *spec* (optionally over caller-supplied victim ops)."""
+    """Mount *spec* (optionally over caller-supplied victim ops).
+
+    With a :class:`~repro.resilience.Supervisor`, each engine runs as
+    one supervised work unit: transient failures are retried, budgets
+    degrade gracefully (missing engines are reported, not silently
+    absent), and the outcome rides along as ``report.supervision``.
+    """
     registry = active().registry
     if ops is None:
         ops = _default_ops(spec)
     plans = build_plans(spec, ops)
     report = CampaignReport(spec=spec)
-    for engine_name in spec.engines:
-        report.records.extend(_run_engine(engine_name, spec, ops, plans))
+    if supervisor is None:
+        for engine_name in spec.engines:
+            report.records.extend(_run_engine(engine_name, spec, ops, plans))
+    else:
+        campaign = engine_campaign(spec, ops, plans)
+        outcome = supervisor.run(campaign)
+        report.supervision = outcome
+        results = outcome.results
+        for unit in campaign.units:
+            for payload in results.get(unit.unit_id) or ():
+                report.records.append(_record_from_payload(payload))
     for record in report.records:
         key = (record.engine, record.plan.kind)
         cell = report.matrix.get(key)

@@ -21,12 +21,20 @@ the differential conformance subsystem — golden corpus, cross-engine
 invariants, seeded trace fuzzer — and exits 1 on any invariant
 violation or snapshot drift; see docs/ARCHITECTURE.md § Conformance.
 
+``python -m repro.harness sweep <axis> <benchmark>`` runs one
+sensitivity sweep as a supervised campaign: every cell is a journaled
+work unit, so ``--resume <run-id>`` after a crash re-runs only the
+unfinished cells, ``--budget`` degrades gracefully into an explicit
+partial report, and ``--chaos`` sabotages the runtime on purpose; see
+docs/ARCHITECTURE.md § Resilient execution.
+
 ``python -m repro.harness list`` enumerates every key the other
 subcommands accept (benchmarks, engine design points, experiments,
-fault campaigns, fuzz patterns, conformance invariants).
+sweeps, fault campaigns, fuzz patterns, conformance invariants).
 
-Unknown experiment, benchmark, or engine keys exit with status 2 and a
-one-line message naming the known keys — never a traceback.
+Exit statuses are uniform across subcommands: 0 success, 1 violation
+or regression, 2 usage/runtime error (one-line message, never a
+traceback), 3 partial — a supervised campaign degraded or lost units.
 """
 
 from __future__ import annotations
@@ -34,13 +42,24 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.common.errors import ReproError
+from repro.common.errors import (
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_USAGE,
+    ReproError,
+)
 from repro.harness.experiments import EXPERIMENTS
 from repro.harness.report import render_experiment, render_profile
 from repro.harness.runner import (
     DEFAULT_TRACE_LENGTH,
     ExperimentContext,
     engine_factories,
+)
+from repro.harness.supervise import (
+    add_resilience_flags,
+    build_supervisor,
+    supervision_requested,
 )
 from repro.obs import ObsConfig
 from repro.workloads.benchmarks import benchmark_names
@@ -146,24 +165,28 @@ def profile_main(argv) -> int:
 
     from repro.harness.profile import run_profile
 
-    profile = run_profile(
-        args.benchmark,
-        args.engine,
-        length=args.length,
-        seed=args.seed,
-        obs=ObsConfig(
-            enabled=True,
-            interval_events=args.interval,
-            trace_memory_events=args.trace_events,
-        ),
-        metrics_out=args.metrics_out,
-        trace_out=args.trace_out,
-        workers=args.workers,
-        shard_timeout=args.shard_timeout,
-        cache_dir=args.cache_dir,
-    )
+    try:
+        profile = run_profile(
+            args.benchmark,
+            args.engine,
+            length=args.length,
+            seed=args.seed,
+            obs=ObsConfig(
+                enabled=True,
+                interval_events=args.interval,
+                trace_memory_events=args.trace_events,
+            ),
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+            workers=args.workers,
+            shard_timeout=args.shard_timeout,
+            cache_dir=args.cache_dir,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
     print(render_profile(profile))
-    return 0
+    return EXIT_OK
 
 
 def inject_main(argv) -> int:
@@ -202,6 +225,7 @@ def inject_main(argv) -> int:
         help="root of the on-disk trace cache (default: $REPRO_CACHE_DIR "
              "or .cache; pass '' to disable)",
     )
+    add_resilience_flags(parser, journal=False)
     args = parser.parse_args(argv)
     _check_known(parser, "benchmark", args.benchmark, benchmark_names())
     _check_known(parser, "campaign", args.campaign, CAMPAIGNS)
@@ -210,7 +234,11 @@ def inject_main(argv) -> int:
 
     from repro.faults.report import render_campaign
     from repro.harness.inject import run_inject
+    from repro.resilience import render_outcome
 
+    supervisor = (
+        build_supervisor(args) if supervision_requested(args) else None
+    )
     try:
         outcome = run_inject(
             args.benchmark,
@@ -219,12 +247,20 @@ def inject_main(argv) -> int:
             seed=args.seed,
             engines=args.engines,
             cache_dir=args.cache_dir,
+            supervisor=supervisor,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     print(render_campaign(outcome.report))
-    return 0 if outcome.ok else 1
+    supervision = outcome.report.supervision
+    if supervision is not None:
+        print(render_outcome(supervision), file=sys.stderr)
+    if not outcome.ok:
+        return EXIT_FAILURE
+    if supervision is not None and supervision.partial:
+        return EXIT_PARTIAL
+    return EXIT_OK
 
 
 def conform_main(argv) -> int:
@@ -262,15 +298,29 @@ def conform_main(argv) -> int:
         help="cap on events the functional-crypto oracle executes per "
              "mode (default 240; pure-Python AES is slow)",
     )
+    parser.add_argument(
+        "--fuzz-chunk", type=int, default=8, metavar="N",
+        help="fuzz iterations per supervised work unit (default 8); "
+             "chunking never changes results, only journal granularity",
+    )
+    add_resilience_flags(parser)
     args = parser.parse_args(argv)
     if args.fuzz < 0:
         parser.error("--fuzz must be >= 0")
+    if args.fuzz_chunk < 1:
+        parser.error("--fuzz-chunk must be >= 1")
 
     from pathlib import Path
 
     from repro.conformance.matrix import DEFAULT_FUNCTIONAL_EVENTS
     from repro.conformance.report import render_corpus, render_fuzz
     from repro.harness.conform import run_conform
+    from repro.resilience import render_outcome
+
+    supervisor_factory = None
+    if args.fuzz > 0 and supervision_requested(args):
+        def supervisor_factory(campaign):
+            return build_supervisor(args, campaign)
 
     run_corpus_stage = args.corpus or args.update or args.fuzz == 0
     try:
@@ -285,15 +335,90 @@ def conform_main(argv) -> int:
                 if args.functional_events is not None
                 else DEFAULT_FUNCTIONAL_EVENTS
             ),
+            supervisor_factory=supervisor_factory,
+            fuzz_chunk=args.fuzz_chunk,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     if outcome.corpus is not None:
         print(render_corpus(outcome.corpus))
     if outcome.fuzz is not None:
         print(render_fuzz(outcome.fuzz))
-    return 0 if outcome.ok else 1
+    if outcome.supervision is not None:
+        print(render_outcome(outcome.supervision), file=sys.stderr)
+    if not outcome.ok:
+        return EXIT_FAILURE
+    if outcome.partial:
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def sweep_main(argv) -> int:
+    """Parse and run the ``sweep`` subcommand (always supervised)."""
+    from repro.harness.sweeps import SWEEP_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness sweep",
+        description="Run one sensitivity sweep as a supervised, "
+                    "journaled campaign: resumable after a crash, "
+                    "budget-bounded, chaos-testable.",
+    )
+    parser.add_argument(
+        "sweep",
+        help=f"sweep axis (known: {list(SWEEP_NAMES)})",
+    )
+    parser.add_argument(
+        "benchmark",
+        help="benchmark trace the sweep varies around",
+    )
+    parser.add_argument(
+        "--length", type=int, default=None,
+        help="trace length in coalesced accesses (default: the sweep's "
+             "own, 8000 for most axes)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2023, help="trace generation seed"
+    )
+    parser.add_argument(
+        "--report-out", default=None, metavar="PATH",
+        help="additionally write the report to PATH (crash-atomically)",
+    )
+    _add_execution_flags(parser)
+    add_resilience_flags(parser)
+    args = parser.parse_args(argv)
+    _check_known(parser, "sweep", args.sweep, set(SWEEP_NAMES))
+    _check_known(parser, "benchmark", args.benchmark, benchmark_names())
+
+    from repro.harness.report import render_sweep
+    from repro.harness.sweeps import completed_rows, sweep_campaign
+    from repro.resilience import render_outcome
+
+    try:
+        campaign = sweep_campaign(
+            args.sweep,
+            args.benchmark,
+            trace_length=args.length,
+            seed=args.seed,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            shard_timeout=args.shard_timeout,
+        )
+        supervisor = build_supervisor(args, campaign)
+        outcome = supervisor.run(campaign)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    report = render_sweep(
+        args.sweep, args.benchmark, completed_rows(campaign, outcome), outcome
+    )
+    print(report)
+    print(render_outcome(outcome), file=sys.stderr)
+    if args.report_out:
+        from repro.common.atomicio import atomic_write_text
+
+        atomic_write_text(args.report_out, report + "\n")
+    return outcome.exit_code
 
 
 def list_main(argv) -> int:
@@ -309,6 +434,7 @@ def list_main(argv) -> int:
     from repro.conformance.report import render_invariant_table
     from repro.faults.campaign import CAMPAIGNS
     from repro.faults.plan import ENGINE_VARIANTS
+    from repro.harness.sweeps import SWEEP_NAMES
 
     def section(title, keys):
         print(f"{title}:")
@@ -318,12 +444,13 @@ def list_main(argv) -> int:
     section("benchmarks", benchmark_names())
     section("engines", sorted(engine_factories()))
     section("experiments", sorted(EXPERIMENTS))
+    section("sweeps", SWEEP_NAMES)
     section("fault campaigns", sorted(CAMPAIGNS))
     section("fault engine variants", sorted(ENGINE_VARIANTS))
     section("fuzz patterns", PATTERNS)
     section("corpus entries", (spec.name for spec in CORPUS))
     print(render_invariant_table())
-    return 0
+    return EXIT_OK
 
 
 def main(argv=None) -> int:
@@ -336,6 +463,8 @@ def main(argv=None) -> int:
         return inject_main(argv[1:])
     if argv and argv[0] == "conform":
         return conform_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     if argv and argv[0] == "list":
         return list_main(argv[1:])
     parser = argparse.ArgumentParser(
@@ -365,6 +494,13 @@ def main(argv=None) -> int:
         help="restrict to a subset of the benchmark roster",
     )
     _add_execution_flags(parser)
+    parser.add_argument(
+        "--supervise", action="store_true",
+        help="run the experiments under the campaign supervisor: one "
+             "journaled, retryable work unit per experiment (implied by "
+             "any other resilience flag)",
+    )
+    add_resilience_flags(parser)
     args = parser.parse_args(argv)
 
     selected = args.experiments or sorted(EXPERIMENTS)
@@ -382,6 +518,8 @@ def main(argv=None) -> int:
         shard_timeout=args.shard_timeout,
         cache_dir=args.cache_dir,
     )
+    if supervision_requested(args):
+        return _supervised_experiments(args, ctx, selected)
     try:
         for key in selected:
             print(render_experiment(EXPERIMENTS[key](ctx)))
@@ -390,8 +528,37 @@ def main(argv=None) -> int:
         # message beats a traceback for a CLI user.
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
-        return 2
-    return 0
+        return EXIT_USAGE
+    return EXIT_OK
+
+
+def _supervised_experiments(args, ctx, selected) -> int:
+    """The opt-in resilient path of the default experiments command.
+
+    Unlike the plain loop above, a deterministic experiment failure
+    here does not abort the run: the unit is marked failed, the rest of
+    the suite still completes, and the exit status is 3 (partial).
+    """
+    from repro.harness.experiments import (
+        experiments_campaign,
+        result_from_payload,
+    )
+    from repro.resilience import render_outcome
+
+    try:
+        campaign = experiments_campaign(ctx, selected)
+        supervisor = build_supervisor(args, campaign)
+        outcome = supervisor.run(campaign)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    results = outcome.results
+    for unit in campaign.units:
+        payload = results.get(unit.unit_id)
+        if payload is not None:
+            print(render_experiment(result_from_payload(payload)))
+    print(render_outcome(outcome), file=sys.stderr)
+    return outcome.exit_code
 
 
 if __name__ == "__main__":

@@ -9,10 +9,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.conformance.corpus import CorpusOutcome, run_corpus
-from repro.conformance.fuzzer import FuzzReport, fuzz
+from repro.conformance.fuzzer import (
+    FuzzReport,
+    fuzz,
+    fuzz_campaign,
+    fuzz_report_from_outcome,
+)
 from repro.conformance.matrix import DEFAULT_FUNCTIONAL_EVENTS
 
 
@@ -22,6 +27,10 @@ class ConformOutcome:
 
     corpus: Optional[CorpusOutcome] = None
     fuzz: Optional[FuzzReport] = None
+    #: Supervised fuzz outcome (``None`` unless a supervisor ran it).
+    #: Partial means some iteration ranges never reported; ``ok`` then
+    #: speaks only for the iterations that did run.
+    supervision: Optional[object] = None
 
     @property
     def ok(self) -> bool:
@@ -31,6 +40,10 @@ class ConformOutcome:
             return False
         return True
 
+    @property
+    def partial(self) -> bool:
+        return self.supervision is not None and self.supervision.partial
+
 
 def run_conform(
     corpus: bool = True,
@@ -39,8 +52,16 @@ def run_conform(
     update: bool = False,
     corpus_dir: Optional[Path] = None,
     functional_events: Optional[int] = DEFAULT_FUNCTIONAL_EVENTS,
+    supervisor_factory: Optional[Callable] = None,
+    fuzz_chunk: int = 8,
 ) -> ConformOutcome:
-    """Run the requested conformance stages and bundle their outcomes."""
+    """Run the requested conformance stages and bundle their outcomes.
+
+    ``supervisor_factory`` (campaign -> Supervisor) opts the fuzz stage
+    into supervised execution: iterations run as chunked work units
+    with retry, journaling, and budget degradation; the factory shape
+    lets the caller open a run journal against the concrete campaign.
+    """
     outcome = ConformOutcome()
     if corpus or update:
         outcome.corpus = run_corpus(
@@ -49,7 +70,19 @@ def run_conform(
             functional_events=functional_events,
         )
     if fuzz_iterations > 0:
-        outcome.fuzz = fuzz(
-            fuzz_iterations, seed, functional_events=functional_events
-        )
+        if supervisor_factory is None:
+            outcome.fuzz = fuzz(
+                fuzz_iterations, seed, functional_events=functional_events
+            )
+        else:
+            campaign = fuzz_campaign(
+                fuzz_iterations, seed,
+                chunk_size=fuzz_chunk,
+                functional_events=functional_events,
+            )
+            supervised = supervisor_factory(campaign).run(campaign)
+            outcome.supervision = supervised
+            outcome.fuzz = fuzz_report_from_outcome(
+                supervised, fuzz_iterations, seed
+            )
     return outcome

@@ -32,10 +32,11 @@ from __future__ import annotations
 
 import hashlib
 import os
-import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
+from repro.common.atomicio import atomic_write_text
+from repro.common.digest import content_digest
 from repro.common.errors import TraceError
 from repro.obs import active
 from repro.workloads.trace import Trace
@@ -76,12 +77,8 @@ def resolve_cache_dir(spec: Optional[str] = None) -> Optional[str]:
     return spec or None
 
 
-def _digest(*parts: str) -> str:
-    h = hashlib.sha256()
-    for part in parts:
-        h.update(part.encode("utf-8"))
-        h.update(b"\x1f")
-    return h.hexdigest()[:32]
+#: Backwards-compatible alias for the pre-resilience private name.
+_digest = content_digest
 
 
 class DiskCache:
@@ -159,24 +156,14 @@ class DiskCache:
         return payload
 
     def _write_atomic(self, path: Path, text: str) -> None:
-        self.root.mkdir(parents=True, exist_ok=True)
         if not text.endswith("\n"):
             text += "\n"
         digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
         sealed = f"{text}{CHECKSUM_PREFIX}{digest}\n"
-        fd, tmp = tempfile.mkstemp(
-            prefix=path.stem, suffix=".tmp", dir=str(self.root)
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(sealed)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        # No fsync: the checksum footer already turns a power-loss torn
+        # entry into a counted cache miss, and sweeps store thousands
+        # of entries.
+        atomic_write_text(path, sealed, fsync=False)
         self.stores += 1
 
     def _discard(self, path: Path) -> None:

@@ -9,8 +9,11 @@ suite iterate over.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.resilience import Campaign
 
 from repro.analysis.empirical import run_forgery_experiment
 from repro.analysis.forgery import design_space, forgery_probability
@@ -438,3 +441,41 @@ EXPERIMENTS["ext-forgery"] = run_ext_forgery
 def run_all(ctx: ExperimentContext) -> Dict[str, ExperimentResult]:
     """Run the full suite (shares all caches through the context)."""
     return {key: fn(ctx) for key, fn in EXPERIMENTS.items()}
+
+
+# -- supervised decomposition -------------------------------------------------
+
+def experiments_campaign(
+    ctx: ExperimentContext, selected: "List[str]"
+) -> "Campaign":
+    """One supervised work unit per selected experiment.
+
+    Unit identity covers the experiment key plus the context
+    fingerprint, so a resumed run only reuses results computed under
+    identical trace parameters.
+    """
+    from repro.resilience import Campaign, WorkUnit
+
+    context_id = ctx.fingerprint()
+
+    def runner_for(key: str):
+        def run() -> Dict[str, object]:
+            return asdict(EXPERIMENTS[key](ctx))
+
+        return run
+
+    units = [
+        WorkUnit(
+            kind="experiment",
+            params={"experiment": key, "context": context_id},
+            runner=runner_for(key),
+            label=key,
+        )
+        for key in selected
+    ]
+    return Campaign(name="experiments", units=units)
+
+
+def result_from_payload(payload: Dict[str, object]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its journaled form."""
+    return ExperimentResult(**payload)

@@ -81,11 +81,14 @@ def run_inject(
     config: GpuConfig = VOLTA,
     engines: Optional[Sequence[str]] = None,
     cache_dir: Optional[str] = None,
+    supervisor=None,
 ) -> InjectResult:
     """Run one campaign against a benchmark-derived victim workload.
 
     ``engines`` overrides the campaign's engine roster (e.g. the CI
-    smoke runs two engines instead of three). Raises
+    smoke runs two engines instead of three). ``supervisor`` opts into
+    resilient per-engine execution (retry, budgets, chaos); see
+    :func:`repro.faults.campaign.run_campaign`. Raises
     :class:`~repro.common.errors.FaultInjectionError` for unknown
     campaign names or unviable plans.
     """
@@ -105,7 +108,12 @@ def run_inject(
         trace = ctx.trace(benchmark)
         ops = _victim_ops(trace, spec.size_bytes, spec.warmup_ops)
 
-    report = run_campaign(spec, ops=ops)
+    # The supervisor kwarg is only forwarded when set: tests (and other
+    # callers) may substitute run_campaign with a (spec, ops) callable.
+    if supervisor is None:
+        report = run_campaign(spec, ops=ops)
+    else:
+        report = run_campaign(spec, ops=ops, supervisor=supervisor)
     victim = len(ops) if ops is not None else spec.warmup_ops
     return InjectResult(
         benchmark=benchmark,

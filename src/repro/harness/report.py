@@ -248,3 +248,23 @@ def render_experiment(result: ExperimentResult) -> str:
 def render_all(results: Dict[str, ExperimentResult]) -> str:
     """Concatenate the reports of a full experiment suite."""
     return "\n".join(render_experiment(r) for r in results.values())
+
+
+def render_sweep(
+    sweep: str,
+    benchmark: str,
+    rows: Sequence[Mapping[str, object]],
+    outcome=None,
+) -> str:
+    """Text report for one (possibly supervised) sweep.
+
+    Contains only the sweep identity, the completed rows, and the
+    stable MISSING markers — no timings or run ids — so the text of a
+    resumed run is byte-identical to an uninterrupted one.
+    """
+    from repro.resilience import missing_cell_lines
+
+    lines = [f"== sweep {sweep} on {benchmark} ==", format_table(rows)]
+    if outcome is not None:
+        lines.extend(missing_cell_lines(outcome))
+    return "\n".join(lines)

@@ -32,7 +32,7 @@ from repro.gpu.simulator import (
     replay_events,
     simulate_l2,
 )
-from repro.harness.diskcache import DiskCache
+from repro.harness.diskcache import DiskCache, content_digest
 from repro.mem.traffic import TrafficCounter
 from repro.metadata.compact import (
     DESIGN_2BIT,
@@ -197,6 +197,22 @@ class ExperimentContext:
         self.factories = engine_factories()
         self.obs_session = ObsSession(self.obs)
         self.disk_cache = DiskCache.from_spec(self.cache_dir)
+
+    def fingerprint(self) -> str:
+        """Content hash of everything that shapes this context's results.
+
+        Execution knobs (workers, shard timeout, cache location) are
+        deliberately excluded: they change *how* results are computed,
+        never *what* they are, so a journaled run may resume under a
+        different worker count and still merge byte-identically.
+        """
+        return content_digest(
+            "experiment-context",
+            repr(self.config),
+            str(self.trace_length),
+            str(self.seed),
+            ",".join(self.benchmarks),
+        )
 
     def trace(self, benchmark: str) -> Trace:
         if benchmark not in self._traces:

@@ -16,7 +16,10 @@ move the headline result:
   scale with how memory-bound the kernel is, vanishing at I = 0.
 
 Each sweep returns plain row dictionaries renderable with
-:func:`repro.harness.report.format_table`.
+:func:`repro.harness.report.format_table`. Every sweep also decomposes
+into supervised work units (:func:`sweep_campaign`): one unit per cell,
+content-addressed by its parameters, so a killed sweep resumes from its
+journal re-running only unfinished cells.
 """
 
 from __future__ import annotations
@@ -24,10 +27,12 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.common.errors import ReproError
 from repro.gpu.config import GpuConfig, VOLTA
 from repro.gpu.perf_model import normalized_ipc, slowdown_vs_baseline
 from repro.gpu.simulator import replay_events, simulate_l2
 from repro.harness.runner import EngineSpec, ExperimentContext
+from repro.resilience import Campaign, CampaignOutcome, WorkUnit
 from repro.secure.engine import MetadataCacheConfig, NoSecurityEngine
 from repro.secure.plutus import PlutusEngine
 from repro.secure.pssm import PssmEngine
@@ -61,6 +66,23 @@ def _speedup_for_trace(trace, config: GpuConfig = VOLTA,
     return pssm_ipc, plutus_ipc, plutus_ipc / pssm_ipc
 
 
+def seed_cell(
+    benchmark: str,
+    seed: int,
+    trace_length: int = 8000,
+    workers: "int | None" = 1,
+) -> Dict[str, object]:
+    """One row of :func:`sweep_seeds`."""
+    trace = build_trace(benchmark, length=trace_length, seed=seed)
+    pssm, plutus, speedup = _speedup_for_trace(trace, workers=workers)
+    return {
+        "seed": seed,
+        "pssm_ipc": pssm,
+        "plutus_ipc": plutus,
+        "speedup": speedup,
+    }
+
+
 def sweep_seeds(
     benchmark: str,
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
@@ -68,19 +90,9 @@ def sweep_seeds(
     workers: "int | None" = 1,
 ) -> List[Dict[str, object]]:
     """Plutus-vs-PSSM speedup across trace-generation seeds."""
-    rows: List[Dict[str, object]] = []
-    for seed in seeds:
-        trace = build_trace(benchmark, length=trace_length, seed=seed)
-        pssm, plutus, speedup = _speedup_for_trace(trace, workers=workers)
-        rows.append(
-            {
-                "seed": seed,
-                "pssm_ipc": pssm,
-                "plutus_ipc": plutus,
-                "speedup": speedup,
-            }
-        )
-    return rows
+    return [
+        seed_cell(benchmark, seed, trace_length, workers) for seed in seeds
+    ]
 
 
 def sweep_trace_length(
@@ -90,12 +102,21 @@ def sweep_trace_length(
     workers: "int | None" = 1,
 ) -> List[Dict[str, object]]:
     """Window-size convergence of the headline speedup."""
-    rows: List[Dict[str, object]] = []
-    for length in lengths:
-        trace = build_trace(benchmark, length=length, seed=seed)
-        _pssm, _plutus, speedup = _speedup_for_trace(trace, workers=workers)
-        rows.append({"length": length, "speedup": speedup})
-    return rows
+    return [
+        length_cell(benchmark, length, seed, workers) for length in lengths
+    ]
+
+
+def length_cell(
+    benchmark: str,
+    length: int,
+    seed: int = 2023,
+    workers: "int | None" = 1,
+) -> Dict[str, object]:
+    """One row of :func:`sweep_trace_length`."""
+    trace = build_trace(benchmark, length=length, seed=seed)
+    _pssm, _plutus, speedup = _speedup_for_trace(trace, workers=workers)
+    return {"length": length, "speedup": speedup}
 
 
 def sweep_metadata_cache(
@@ -106,22 +127,31 @@ def sweep_metadata_cache(
     workers: "int | None" = 1,
 ) -> List[Dict[str, object]]:
     """Sensitivity to the per-partition metadata cache budget."""
+    return [
+        cache_cell(benchmark, size, trace_length, seed, workers)
+        for size in sizes
+    ]
+
+
+def cache_cell(
+    benchmark: str,
+    size: int,
+    trace_length: int = 8000,
+    seed: int = 2023,
+    workers: "int | None" = 1,
+) -> Dict[str, object]:
+    """One row of :func:`sweep_metadata_cache`."""
     trace = build_trace(benchmark, length=trace_length, seed=seed)
-    rows: List[Dict[str, object]] = []
-    for size in sizes:
-        cache_config = MetadataCacheConfig(size_bytes=size)
-        pssm, plutus, speedup = _speedup_for_trace(
-            trace, cache_config=cache_config, workers=workers
-        )
-        rows.append(
-            {
-                "cache_bytes": size,
-                "pssm_ipc": pssm,
-                "plutus_ipc": plutus,
-                "speedup": speedup,
-            }
-        )
-    return rows
+    cache_config = MetadataCacheConfig(size_bytes=size)
+    pssm, plutus, speedup = _speedup_for_trace(
+        trace, cache_config=cache_config, workers=workers
+    )
+    return {
+        "cache_bytes": size,
+        "pssm_ipc": pssm,
+        "plutus_ipc": plutus,
+        "speedup": speedup,
+    }
 
 
 def sweep_memory_intensity(
@@ -135,26 +165,34 @@ def sweep_memory_intensity(
     it at different memory intensities, isolating the performance-model
     assumption from the traffic measurement.
     """
+    return [
+        intensity_cell(ctx, benchmark, intensity) for intensity in intensities
+    ]
+
+
+def intensity_cell(
+    ctx: ExperimentContext, benchmark: str, intensity: float
+) -> Dict[str, object]:
+    """One row of :func:`sweep_memory_intensity`.
+
+    The context's own caches make the three underlying simulations a
+    one-time cost shared across cells.
+    """
     base = ctx.run(benchmark, "nosec")
     pssm = ctx.run(benchmark, "pssm")
     plutus = ctx.run(benchmark, "plutus")
-    rows: List[Dict[str, object]] = []
-    for intensity in intensities:
-        pssm_ipc = 1.0 / slowdown_vs_baseline(
-            pssm.total_bytes, base.total_bytes, intensity
-        )
-        plutus_ipc = 1.0 / slowdown_vs_baseline(
-            plutus.total_bytes, base.total_bytes, intensity
-        )
-        rows.append(
-            {
-                "memory_intensity": intensity,
-                "pssm_ipc": pssm_ipc,
-                "plutus_ipc": plutus_ipc,
-                "speedup": plutus_ipc / pssm_ipc,
-            }
-        )
-    return rows
+    pssm_ipc = 1.0 / slowdown_vs_baseline(
+        pssm.total_bytes, base.total_bytes, intensity
+    )
+    plutus_ipc = 1.0 / slowdown_vs_baseline(
+        plutus.total_bytes, base.total_bytes, intensity
+    )
+    return {
+        "memory_intensity": intensity,
+        "pssm_ipc": pssm_ipc,
+        "plutus_ipc": plutus_ipc,
+        "speedup": plutus_ipc / pssm_ipc,
+    }
 
 
 def sweep_partitions(
@@ -169,16 +207,142 @@ def sweep_partitions(
     Smaller GPUs concentrate the same metadata into fewer engines with
     the same per-partition SRAM; the relative Plutus win should persist.
     """
-    rows: List[Dict[str, object]] = []
+    return [
+        partition_cell(benchmark, count, trace_length, seed, workers)
+        for count in partition_counts
+    ]
+
+
+def partition_cell(
+    benchmark: str,
+    count: int,
+    trace_length: int = 6000,
+    seed: int = 2023,
+    workers: "int | None" = 1,
+) -> Dict[str, object]:
+    """One row of :func:`sweep_partitions`."""
     trace = build_trace(benchmark, length=trace_length, seed=seed)
-    for count in partition_counts:
-        config = replace(
-            VOLTA,
-            address_map=replace(VOLTA.address_map, num_partitions=count),
-            dram=replace(VOLTA.dram, num_partitions=count),
+    config = replace(
+        VOLTA,
+        address_map=replace(VOLTA.address_map, num_partitions=count),
+        dram=replace(VOLTA.dram, num_partitions=count),
+    )
+    _pssm, _plutus, speedup = _speedup_for_trace(
+        trace, config=config, workers=workers
+    )
+    return {"partitions": count, "speedup": speedup}
+
+
+# -- supervised decomposition -------------------------------------------------
+
+#: Default trace length per sweep (partitions historically sweeps a
+#: shorter window) and default axis values, mirroring the functions above.
+_SWEEP_DEFAULTS: Dict[str, Dict[str, object]] = {
+    "seeds": {"length": 8000, "axis": (1, 2, 3, 4, 5)},
+    "trace-length": {"length": 8000, "axis": (2000, 4000, 8000, 16000)},
+    "metadata-cache": {"length": 8000, "axis": (1024, 2048, 4096, 8192)},
+    "memory-intensity": {"length": 8000, "axis": (0.0, 0.25, 0.5, 0.75, 1.0)},
+    "partitions": {"length": 6000, "axis": (8, 16, 32)},
+}
+
+#: Sweeps the ``sweep`` subcommand accepts.
+SWEEP_NAMES = tuple(sorted(_SWEEP_DEFAULTS))
+
+
+def sweep_campaign(
+    sweep: str,
+    benchmark: str,
+    trace_length: Optional[int] = None,
+    seed: int = 2023,
+    workers: "int | None" = 1,
+    ctx: Optional[ExperimentContext] = None,
+    cache_dir: Optional[str] = None,
+    shard_timeout: Optional[float] = None,
+) -> Campaign:
+    """Decompose one sweep into a supervised, resumable campaign.
+
+    Each cell becomes a content-addressed work unit whose parameters
+    (sweep, benchmark, axis value, length, seed) define its identity —
+    the runner itself does not, so a resumed run on the same parameters
+    reuses journaled cells regardless of process or machine.
+    """
+    if sweep not in _SWEEP_DEFAULTS:
+        raise ReproError(
+            f"unknown sweep {sweep!r}; known: {sorted(_SWEEP_DEFAULTS)}"
         )
-        _pssm, _plutus, speedup = _speedup_for_trace(
-            trace, config=config, workers=workers
+    defaults = _SWEEP_DEFAULTS[sweep]
+    length = trace_length if trace_length is not None else defaults["length"]
+    axis = defaults["axis"]
+
+    def unit(value, runner) -> WorkUnit:
+        return WorkUnit(
+            kind=f"sweep:{sweep}",
+            params={
+                "sweep": sweep,
+                "benchmark": benchmark,
+                "value": value,
+                "length": length,
+                "seed": seed,
+            },
+            runner=runner,
+            label=f"{sweep}[{value}]",
         )
-        rows.append({"partitions": count, "speedup": speedup})
-    return rows
+
+    units: List[WorkUnit] = []
+    if sweep == "seeds":
+        units = [
+            unit(s, lambda s=s: seed_cell(benchmark, s, length, workers))
+            for s in axis
+        ]
+    elif sweep == "trace-length":
+        units = [
+            unit(lv, lambda lv=lv: length_cell(benchmark, lv, seed, workers))
+            for lv in axis
+        ]
+    elif sweep == "metadata-cache":
+        units = [
+            unit(
+                sz,
+                lambda sz=sz: cache_cell(benchmark, sz, length, seed, workers),
+            )
+            for sz in axis
+        ]
+    elif sweep == "memory-intensity":
+        shared = ctx if ctx is not None else ExperimentContext(
+            trace_length=length,
+            seed=seed,
+            benchmarks=[benchmark],
+            workers=workers,
+            shard_timeout=shard_timeout,
+            cache_dir=cache_dir,
+        )
+        units = [
+            unit(i, lambda i=i: intensity_cell(shared, benchmark, i))
+            for i in axis
+        ]
+    elif sweep == "partitions":
+        units = [
+            unit(
+                c,
+                lambda c=c: partition_cell(benchmark, c, length, seed, workers),
+            )
+            for c in axis
+        ]
+    return Campaign(name=f"sweep:{sweep}:{benchmark}", units=units)
+
+
+def completed_rows(
+    campaign: Campaign, outcome: CampaignOutcome
+) -> List[Dict[str, object]]:
+    """The completed cells' rows, in the campaign's unit order.
+
+    Cells lost to failure or degradation are simply absent here; the
+    report marks them explicitly via
+    :func:`repro.resilience.report.missing_cell_lines`.
+    """
+    results = outcome.results
+    return [
+        results[unit.unit_id]
+        for unit in campaign.units
+        if unit.unit_id in results
+    ]

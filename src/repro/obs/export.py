@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Optional
 
+from repro.common.atomicio import atomic_write_text
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import EventTracer
@@ -43,19 +44,22 @@ def write_metrics_json(
     config: Optional[ObsConfig] = None,
     extra: Optional[Dict[str, object]] = None,
 ) -> None:
-    """Dump a registry (plus headline extras) as one JSON document."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(metrics_payload(registry, config, extra), handle,
-                  indent=2, sort_keys=True)
-        handle.write("\n")
+    """Dump a registry (plus headline extras) as one JSON document.
+
+    The write is crash-atomic (same-directory temp file + rename): a
+    kill mid-export never leaves a torn metrics file behind.
+    """
+    text = json.dumps(
+        metrics_payload(registry, config, extra), indent=2, sort_keys=True
+    )
+    atomic_write_text(path, text + "\n")
 
 
 def write_trace_jsonl(path: str, tracer: EventTracer) -> int:
-    """Dump the tracer ring buffer as JSONL; returns lines written."""
-    count = 0
-    with open(path, "w", encoding="utf-8") as handle:
-        for line in tracer.to_jsonl():
-            handle.write(line)
-            handle.write("\n")
-            count += 1
-    return count
+    """Dump the tracer ring buffer as JSONL; returns lines written.
+
+    Crash-atomic like :func:`write_metrics_json`.
+    """
+    lines = list(tracer.to_jsonl())
+    atomic_write_text(path, "".join(line + "\n" for line in lines))
+    return len(lines)

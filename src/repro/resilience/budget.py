@@ -1,0 +1,179 @@
+"""Resource budgets and the watchdogs that enforce them.
+
+Three independent guards bound a supervised campaign:
+
+* **wall clock** — a campaign-wide deadline, checked between units and
+  between retry attempts;
+* **per-unit timeout** — a SIGALRM-based preemption of one unit's
+  runner (Unix main thread only; elsewhere the bound is advisory and
+  documented as such);
+* **memory** — peak RSS via :func:`resource.getrusage`, plus an
+  optional :mod:`tracemalloc` ceiling on Python-heap allocations for
+  platforms (or tests) where RSS is too coarse.
+
+Exhaustion is *graceful degradation*, not a crash: the supervisor
+cancels remaining units, the report marks the missing cells, and the
+CLI exits with the distinct partial code
+(:data:`~repro.common.errors.EXIT_PARTIAL`).
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.common.errors import ResilienceError, UnitTimeoutError
+
+#: Stable degradation reasons (embedded verbatim in partial reports,
+#: so they must not contain run-specific numbers or timings).
+REASON_WALL_CLOCK = "wall-clock budget exhausted"
+REASON_RSS = "rss budget exhausted"
+REASON_TRACEMALLOC = "tracemalloc budget exhausted"
+
+
+def current_rss_mb() -> Optional[float]:
+    """Peak resident-set size of this process in MiB (None if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return peak / (1024.0 * 1024.0)
+    return peak / 1024.0  # Linux reports KiB.
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Bounds for one supervised campaign; ``None`` disables a guard."""
+
+    wall_clock_s: Optional[float] = None
+    unit_timeout_s: Optional[float] = None
+    max_rss_mb: Optional[float] = None
+    #: Opt-in Python-heap ceiling; starts/stops tracemalloc around the
+    #: campaign unless tracing was already active.
+    max_tracemalloc_mb: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "wall_clock_s", "unit_timeout_s", "max_rss_mb",
+            "max_tracemalloc_mb",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ResilienceError(f"{name} must be positive, got {value}")
+
+    @property
+    def unbounded(self) -> bool:
+        return (
+            self.wall_clock_s is None
+            and self.unit_timeout_s is None
+            and self.max_rss_mb is None
+            and self.max_tracemalloc_mb is None
+        )
+
+
+def _alarm_supported() -> bool:
+    return (
+        hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+class BudgetGuard:
+    """Live enforcement of one :class:`ResourceBudget`.
+
+    ``clock`` is injectable so tests can drive the wall-clock deadline
+    deterministically. :meth:`exceeded` returns a *stable* reason
+    string (one of the ``REASON_*`` constants) or ``None``.
+    """
+
+    def __init__(
+        self,
+        budget: Optional[ResourceBudget] = None,
+        clock: Callable[[], float] = time.monotonic,
+        rss_probe: Callable[[], Optional[float]] = current_rss_mb,
+    ) -> None:
+        self.budget = budget if budget is not None else ResourceBudget()
+        self.clock = clock
+        self.rss_probe = rss_probe
+        self._start: Optional[float] = None
+        self._owns_tracemalloc = False
+
+    def start(self) -> None:
+        """Arm the guard: record the deadline epoch, start tracemalloc."""
+        self._start = self.clock()
+        if (
+            self.budget.max_tracemalloc_mb is not None
+            and not tracemalloc.is_tracing()
+        ):
+            tracemalloc.start()
+            self._owns_tracemalloc = True
+
+    def stop(self) -> None:
+        """Release anything :meth:`start` acquired."""
+        if self._owns_tracemalloc:
+            tracemalloc.stop()
+            self._owns_tracemalloc = False
+
+    def elapsed(self) -> float:
+        if self._start is None:
+            return 0.0
+        return self.clock() - self._start
+
+    def exceeded(self) -> Optional[str]:
+        """The first exhausted budget's stable reason, or ``None``."""
+        budget = self.budget
+        if (
+            budget.wall_clock_s is not None
+            and self._start is not None
+            and self.elapsed() >= budget.wall_clock_s
+        ):
+            return REASON_WALL_CLOCK
+        if budget.max_rss_mb is not None:
+            rss = self.rss_probe()
+            if rss is not None and rss >= budget.max_rss_mb:
+                return REASON_RSS
+        if budget.max_tracemalloc_mb is not None and tracemalloc.is_tracing():
+            _current, peak = tracemalloc.get_traced_memory()
+            if peak / (1024.0 * 1024.0) >= budget.max_tracemalloc_mb:
+                return REASON_TRACEMALLOC
+        return None
+
+    @property
+    def preemptive_timeout(self) -> bool:
+        """Whether the per-unit timeout can actually interrupt a unit."""
+        return self.budget.unit_timeout_s is not None and _alarm_supported()
+
+    @contextmanager
+    def unit_timeout(self) -> Iterator[None]:
+        """Bound one unit's runner with SIGALRM where supported.
+
+        Raises :class:`UnitTimeoutError` inside the unit when the bound
+        trips. Off the Unix main thread the context is a no-op — the
+        budget degrades to advisory rather than failing the run.
+        """
+        timeout = self.budget.unit_timeout_s
+        if timeout is None or not _alarm_supported():
+            yield
+            return
+
+        def _on_alarm(signum, frame):
+            raise UnitTimeoutError(
+                f"work unit exceeded its {timeout:g}s timeout",
+                timeout_s=timeout,
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,297 @@
+"""The campaign supervisor: retries, journaling, budgets, degradation.
+
+:class:`Supervisor.run` executes a :class:`~repro.resilience.units.Campaign`
+unit by unit under one retry policy, resource budget, optional chaos
+monkey, and optional run journal:
+
+* a unit already marked ``ok`` in the journal is **skipped** and its
+  journaled result reused (that is what makes ``--resume`` after
+  ``kill -9`` cheap and byte-identical);
+* a failing attempt is classified (crash / timeout / deterministic /
+  budget) and retried with seeded exponential backoff while the policy
+  allows;
+* budgets are checked before every unit and between retry attempts;
+  exhaustion cancels all remaining units — they are *not* journaled,
+  so a later resume still runs them — and the outcome is **partial**;
+* every finished unit (ok or failed) is journaled with an fsync before
+  the supervisor moves on.
+
+Journal, retry, chaos, and watchdog events flow into the ambient
+:mod:`repro.obs` session (``resilience.*`` metrics and trace events),
+so a profile of a supervised run shows *how* it survived, not just
+that it did.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import EXIT_OK, EXIT_PARTIAL
+from repro.obs import active
+from repro.resilience.budget import BudgetGuard, ResourceBudget
+from repro.resilience.chaos import ChaosMonkey
+from repro.resilience.journal import RunJournal
+from repro.resilience.policy import FailureClass, RetryPolicy, classify_failure
+from repro.resilience.units import Campaign, WorkUnit
+
+#: Unit statuses a :class:`UnitOutcome` can carry.
+STATUS_OK = "ok"
+STATUS_SKIPPED = "skipped"
+STATUS_FAILED = "failed"
+STATUS_CANCELLED = "cancelled"
+
+
+@dataclass
+class UnitOutcome:
+    """What the supervisor concluded about one work unit."""
+
+    unit_id: str
+    kind: str
+    label: str
+    status: str
+    attempts: int = 0
+    failure_class: Optional[str] = None
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+    #: JSON-normalized result payload (``ok``/``skipped`` only).
+    result: Optional[object] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_SKIPPED)
+
+
+@dataclass
+class CampaignOutcome:
+    """One supervised run: per-unit outcomes plus the overall verdict."""
+
+    campaign: str
+    fingerprint: str
+    run_id: Optional[str] = None
+    outcomes: List[UnitOutcome] = field(default_factory=list)
+    #: Stable reason degradation was triggered (``None`` = no budget
+    #: tripped; units may still have failed).
+    degraded: Optional[str] = None
+    wall_s: float = 0.0
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def results(self) -> Dict[str, object]:
+        """unit_id -> result payload for every completed unit."""
+        return {o.unit_id: o.result for o in self.outcomes if o.completed}
+
+    @property
+    def partial(self) -> bool:
+        return self.degraded is not None or any(
+            not o.completed for o in self.outcomes
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.partial
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_PARTIAL if self.partial else EXIT_OK
+
+
+class Supervisor:
+    """Executes campaigns resiliently; see the module docstring."""
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        budget: Optional[ResourceBudget] = None,
+        chaos: Optional[ChaosMonkey] = None,
+        journal: Optional[RunJournal] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.budget = budget if budget is not None else ResourceBudget()
+        self.chaos = chaos
+        self.journal = journal
+        self.sleep = sleep
+        self.clock = clock
+
+    def run(self, campaign: Campaign) -> CampaignOutcome:
+        """Execute *campaign* to a :class:`CampaignOutcome`."""
+        session = active()
+        registry = session.registry
+        tracer = session.tracer
+        guard = BudgetGuard(self.budget, clock=self.clock)
+        guard.start()
+        outcome = CampaignOutcome(
+            campaign=campaign.name,
+            fingerprint=campaign.fingerprint,
+            run_id=self.journal.run_id if self.journal else None,
+        )
+        completed = self.journal.completed() if self.journal else {}
+        tracer.emit(
+            "resilience.run",
+            campaign=campaign.name,
+            units=len(campaign.units),
+            resumed=len(completed),
+        )
+        try:
+            for unit in campaign.units:
+                prior = completed.get(unit.unit_id)
+                if prior is not None:
+                    outcome.outcomes.append(
+                        UnitOutcome(
+                            unit_id=unit.unit_id,
+                            kind=unit.kind,
+                            label=unit.label,
+                            status=STATUS_SKIPPED,
+                            attempts=0,
+                            result=prior.get("result"),
+                        )
+                    )
+                    registry.counter("resilience.units_skipped").inc()
+                    continue
+                if outcome.degraded is None:
+                    reason = guard.exceeded()
+                    if reason is not None:
+                        self._degrade(outcome, reason, registry, tracer)
+                if outcome.degraded is not None:
+                    outcome.outcomes.append(
+                        UnitOutcome(
+                            unit_id=unit.unit_id,
+                            kind=unit.kind,
+                            label=unit.label,
+                            status=STATUS_CANCELLED,
+                            error=outcome.degraded,
+                        )
+                    )
+                    registry.counter("resilience.units_cancelled").inc()
+                    continue
+                unit_outcome = self._run_unit(unit, guard, registry, tracer)
+                outcome.outcomes.append(unit_outcome)
+                if unit_outcome.failure_class == FailureClass.BUDGET.value:
+                    self._degrade(
+                        outcome,
+                        unit_outcome.error or "budget exhausted",
+                        registry,
+                        tracer,
+                    )
+        finally:
+            guard.stop()
+        outcome.wall_s = guard.elapsed()
+        registry.gauge("resilience.wall_seconds").set(outcome.wall_s)
+        if self.journal is not None:
+            self.journal.record_end(
+                "partial" if outcome.partial else "complete",
+                reason=outcome.degraded,
+            )
+        tracer.emit(
+            "resilience.end",
+            campaign=campaign.name,
+            status="partial" if outcome.partial else "complete",
+            ok=outcome.count(STATUS_OK),
+            skipped=outcome.count(STATUS_SKIPPED),
+            failed=outcome.count(STATUS_FAILED),
+            cancelled=outcome.count(STATUS_CANCELLED),
+        )
+        return outcome
+
+    # -- internals -----------------------------------------------------------
+
+    def _degrade(self, outcome, reason, registry, tracer) -> None:
+        outcome.degraded = reason
+        registry.counter("resilience.degraded").inc()
+        tracer.emit("resilience.degraded", reason=reason)
+
+    def _run_unit(
+        self,
+        unit: WorkUnit,
+        guard: BudgetGuard,
+        registry,
+        tracer,
+    ) -> UnitOutcome:
+        policy = self.policy
+        start = self.clock()
+        failure: Optional[FailureClass] = None
+        error: Optional[str] = None
+        attempt = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                if self.chaos is not None:
+                    self.chaos.strike(unit.unit_id, attempt)
+                with guard.unit_timeout():
+                    payload = unit.execute()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                failure = classify_failure(exc)
+                error = f"{type(exc).__name__}: {exc}"
+                registry.counter(
+                    f"resilience.failures.{failure.value}"
+                ).inc()
+                tracer.emit(
+                    "resilience.unit_failure",
+                    unit=unit.label,
+                    attempt=attempt,
+                    failure=failure.value,
+                    error=error,
+                )
+                if not policy.should_retry(failure, attempt):
+                    break
+                reason = guard.exceeded()
+                if reason is not None:
+                    # No budget left for another attempt: surface the
+                    # exhaustion, not the transient failure.
+                    failure = FailureClass.BUDGET
+                    error = reason
+                    break
+                registry.counter("resilience.retries").inc()
+                self.sleep(policy.backoff_delay(unit.unit_id, attempt))
+            else:
+                elapsed = self.clock() - start
+                if self.journal is not None:
+                    self.journal.record_unit(
+                        unit, STATUS_OK, attempt, elapsed, result=payload
+                    )
+                registry.counter("resilience.units_ok").inc()
+                tracer.emit(
+                    "resilience.unit_ok",
+                    unit=unit.label,
+                    attempts=attempt,
+                    dur=elapsed,
+                )
+                return UnitOutcome(
+                    unit_id=unit.unit_id,
+                    kind=unit.kind,
+                    label=unit.label,
+                    status=STATUS_OK,
+                    attempts=attempt,
+                    elapsed_s=elapsed,
+                    result=payload,
+                )
+        elapsed = self.clock() - start
+        failure_value = failure.value if failure is not None else None
+        if self.journal is not None and failure is not FailureClass.BUDGET:
+            # Budget failures stay out of the journal: the unit never
+            # ran to a verdict, so a resume should retry it.
+            self.journal.record_unit(
+                unit,
+                STATUS_FAILED,
+                attempt,
+                elapsed,
+                failure_class=failure_value,
+                error=error,
+            )
+        registry.counter("resilience.units_failed").inc()
+        return UnitOutcome(
+            unit_id=unit.unit_id,
+            kind=unit.kind,
+            label=unit.label,
+            status=STATUS_FAILED,
+            attempts=attempt,
+            failure_class=failure_value,
+            error=error,
+            elapsed_s=elapsed,
+        )

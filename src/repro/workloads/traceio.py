@@ -39,6 +39,9 @@ from typing import (
     Union,
 )
 
+from os import PathLike
+
+from repro.common.atomicio import atomic_write_text
 from repro.common.errors import TraceError, TraceFormatError
 from repro.workloads.trace import Trace, TraceAccess
 
@@ -549,3 +552,32 @@ def merge_traces(traces: Iterable[Trace], name: str = "merged") -> Trace:
         instructions=instructions,
         counter_warmup_passes=warmup,
     )
+
+
+# -- crash-atomic path-based savers -------------------------------------------
+#
+# The dump_* functions above write to an open stream; these write to a
+# *path* via a same-directory temp file and os.replace, so a crash (or
+# kill -9) mid-write can never leave a torn artifact where a complete
+# one is expected. Golden corpus updates and cache exports go through
+# these.
+
+def save_trace(trace: Trace, path: "str | PathLike[str]") -> None:
+    """Atomically persist *trace* in the ``dump_trace`` format."""
+    atomic_write_text(path, dumps_trace(trace))
+
+
+def save_event_log(
+    log: "MemoryEventLog", path: "str | PathLike[str]"
+) -> None:
+    """Atomically persist *log* in the ``dump_event_log`` format."""
+    atomic_write_text(path, dumps_event_log(log))
+
+
+def save_traffic_reports(
+    reports: "Mapping[str, TrafficReport]",
+    path: "str | PathLike[str]",
+    name: str = "snapshot",
+) -> None:
+    """Atomically persist snapshot sections for *reports*."""
+    atomic_write_text(path, dumps_traffic_reports(reports, name=name))

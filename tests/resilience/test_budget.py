@@ -1,0 +1,151 @@
+"""Resource budgets: the wall-clock, RSS, heap, and unit-timeout guards."""
+
+import time
+import tracemalloc
+
+import pytest
+
+from repro.common.errors import ResilienceError, UnitTimeoutError
+from repro.resilience import (
+    REASON_RSS,
+    REASON_TRACEMALLOC,
+    REASON_WALL_CLOCK,
+    BudgetGuard,
+    ResourceBudget,
+)
+
+
+class FakeClock:
+    """An injectable monotonic clock tests can advance by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestResourceBudget:
+    def test_default_is_unbounded(self):
+        assert ResourceBudget().unbounded
+
+    def test_any_bound_clears_unbounded(self):
+        assert not ResourceBudget(wall_clock_s=1.0).unbounded
+        assert not ResourceBudget(max_rss_mb=64.0).unbounded
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"wall_clock_s": 0.0},
+            {"unit_timeout_s": -1.0},
+            {"max_rss_mb": 0.0},
+            {"max_tracemalloc_mb": -2.0},
+        ],
+    )
+    def test_nonpositive_bounds_rejected(self, kwargs):
+        with pytest.raises(ResilienceError, match="must be positive"):
+            ResourceBudget(**kwargs)
+
+
+class TestWallClockGuard:
+    def test_not_exceeded_before_deadline(self):
+        clock = FakeClock()
+        guard = BudgetGuard(ResourceBudget(wall_clock_s=10.0), clock=clock)
+        guard.start()
+        clock.now += 9.9
+        assert guard.exceeded() is None
+
+    def test_exceeded_returns_stable_reason(self):
+        clock = FakeClock()
+        guard = BudgetGuard(ResourceBudget(wall_clock_s=10.0), clock=clock)
+        guard.start()
+        clock.now += 10.0
+        assert guard.exceeded() == REASON_WALL_CLOCK
+
+    def test_elapsed_tracks_injected_clock(self):
+        clock = FakeClock()
+        guard = BudgetGuard(clock=clock)
+        assert guard.elapsed() == 0.0  # not started yet
+        guard.start()
+        clock.now += 3.5
+        assert guard.elapsed() == pytest.approx(3.5)
+
+    def test_unarmed_guard_never_trips(self):
+        guard = BudgetGuard(ResourceBudget(wall_clock_s=0.001))
+        assert guard.exceeded() is None
+
+
+class TestMemoryGuards:
+    def test_rss_probe_over_budget(self):
+        guard = BudgetGuard(
+            ResourceBudget(max_rss_mb=64.0), rss_probe=lambda: 65.0
+        )
+        guard.start()
+        assert guard.exceeded() == REASON_RSS
+
+    def test_rss_probe_under_budget(self):
+        guard = BudgetGuard(
+            ResourceBudget(max_rss_mb=64.0), rss_probe=lambda: 63.0
+        )
+        guard.start()
+        assert guard.exceeded() is None
+
+    def test_unknown_rss_is_advisory(self):
+        guard = BudgetGuard(
+            ResourceBudget(max_rss_mb=1.0), rss_probe=lambda: None
+        )
+        guard.start()
+        assert guard.exceeded() is None
+
+    def test_tracemalloc_guard_owns_tracing(self):
+        was_tracing = tracemalloc.is_tracing()
+        guard = BudgetGuard(ResourceBudget(max_tracemalloc_mb=0.001))
+        guard.start()
+        try:
+            assert tracemalloc.is_tracing()
+            ballast = bytearray(1 << 20)
+            assert guard.exceeded() == REASON_TRACEMALLOC
+            del ballast
+        finally:
+            guard.stop()
+        assert tracemalloc.is_tracing() == was_tracing
+
+    def test_wall_clock_checked_before_memory(self):
+        clock = FakeClock()
+        guard = BudgetGuard(
+            ResourceBudget(wall_clock_s=1.0, max_rss_mb=64.0),
+            clock=clock,
+            rss_probe=lambda: 1000.0,
+        )
+        guard.start()
+        clock.now += 2.0
+        assert guard.exceeded() == REASON_WALL_CLOCK
+
+
+class TestUnitTimeout:
+    def test_fast_unit_passes(self):
+        guard = BudgetGuard(ResourceBudget(unit_timeout_s=5.0))
+        with guard.unit_timeout():
+            result = sum(range(100))
+        assert result == 4950
+
+    def test_slow_unit_preempted(self):
+        guard = BudgetGuard(ResourceBudget(unit_timeout_s=0.05))
+        assert guard.preemptive_timeout  # Unix main thread in pytest
+        with pytest.raises(UnitTimeoutError, match="timeout"):
+            with guard.unit_timeout():
+                time.sleep(5.0)
+
+    def test_timer_disarmed_after_exit(self):
+        guard = BudgetGuard(ResourceBudget(unit_timeout_s=0.05))
+        with pytest.raises(UnitTimeoutError):
+            with guard.unit_timeout():
+                time.sleep(5.0)
+        # A later slow section must not be hit by a stale alarm.
+        time.sleep(0.08)
+
+    def test_no_timeout_configured_is_noop(self):
+        guard = BudgetGuard(ResourceBudget())
+        assert not guard.preemptive_timeout
+        with guard.unit_timeout():
+            pass

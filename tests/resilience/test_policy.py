@@ -1,0 +1,109 @@
+"""Failure taxonomy and the seeded retry/backoff policy."""
+
+import pytest
+
+from repro.common.errors import (
+    BudgetExceededError,
+    ReproError,
+    ResilienceError,
+    TraceError,
+    UnitTimeoutError,
+)
+from repro.resilience import (
+    RETRYABLE,
+    ChaosKill,
+    FailureClass,
+    RetryPolicy,
+    classify_failure,
+)
+
+
+class TestClassifyFailure:
+    def test_timeout_is_timeout(self):
+        exc = UnitTimeoutError("slow", timeout_s=1.0)
+        assert classify_failure(exc) is FailureClass.TIMEOUT
+
+    def test_budget_is_budget(self):
+        exc = BudgetExceededError("wall-clock budget exhausted")
+        assert classify_failure(exc) is FailureClass.BUDGET
+
+    def test_repro_errors_are_deterministic(self):
+        # Library errors replay identically; retrying them is waste.
+        assert classify_failure(ReproError("x")) is FailureClass.DETERMINISTIC
+        assert classify_failure(TraceError("x")) is FailureClass.DETERMINISTIC
+
+    def test_everything_else_is_a_crash(self):
+        for exc in (ValueError("x"), MemoryError(), ChaosKill("boom")):
+            assert classify_failure(exc) is FailureClass.CRASH
+
+    def test_retryable_set_is_environmental_only(self):
+        assert RETRYABLE == {FailureClass.CRASH, FailureClass.TIMEOUT}
+
+
+class TestShouldRetry:
+    def test_crash_and_timeout_retry_below_max(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(FailureClass.CRASH, 1)
+        assert policy.should_retry(FailureClass.TIMEOUT, 2)
+
+    def test_no_retry_at_max_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert not policy.should_retry(FailureClass.CRASH, 3)
+
+    def test_deterministic_and_budget_never_retry(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert not policy.should_retry(FailureClass.DETERMINISTIC, 1)
+        assert not policy.should_retry(FailureClass.BUDGET, 1)
+
+
+class TestBackoff:
+    def test_delay_is_deterministic_per_seed_unit_attempt(self):
+        a = RetryPolicy(seed=11)
+        b = RetryPolicy(seed=11)
+        assert a.backoff_delay("u1", 1) == b.backoff_delay("u1", 1)
+        assert a.backoff_delay("u1", 2) == b.backoff_delay("u1", 2)
+
+    def test_delay_varies_across_units_and_seeds(self):
+        policy = RetryPolicy(seed=11, jitter=0.25)
+        assert policy.backoff_delay("u1", 1) != policy.backoff_delay("u2", 1)
+        assert (
+            RetryPolicy(seed=11).backoff_delay("u1", 1)
+            != RetryPolicy(seed=12).backoff_delay("u1", 1)
+        )
+
+    def test_delay_within_jitter_band(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, backoff_factor=2.0, jitter=0.25, max_delay_s=10.0
+        )
+        for attempt in (1, 2, 3):
+            expected = 0.1 * 2.0 ** (attempt - 1)
+            delay = policy.backoff_delay("unit", attempt)
+            assert expected * 0.75 <= delay <= expected * 1.25
+
+    def test_delay_capped_by_max(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, backoff_factor=10.0, max_delay_s=2.0, jitter=0.0
+        )
+        assert policy.backoff_delay("unit", 5) == 2.0
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(base_delay_s=0.05, jitter=0.0, max_delay_s=10.0)
+        assert policy.backoff_delay("unit", 1) == pytest.approx(0.05)
+        assert policy.backoff_delay("unit", 3) == pytest.approx(0.2)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -1.0},
+            {"max_delay_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.5},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(**kwargs)

@@ -278,3 +278,54 @@ class TestEventLogParsing:
 
         with pytest.raises(TraceError):
             loads_event_log(self.HEADER + "W 0 0 " + "zz" * 32 + "\n")
+
+
+class TestAtomicSavers:
+    """The crash-atomic path savers mirror the stream dumpers exactly."""
+
+    def test_save_trace_matches_dumps(self, tmp_path):
+        from repro.workloads.traceio import dumps_trace, save_trace
+
+        trace = build_trace("bfs", length=30, seed=5)
+        path = tmp_path / "trace.txt"
+        save_trace(trace, path)
+        assert path.read_text() == dumps_trace(trace)
+
+    def test_save_event_log_round_trips(self, tmp_path):
+        from repro.gpu.config import VOLTA
+        from repro.gpu.simulator import simulate_l2
+        from repro.workloads.traceio import (
+            dumps_event_log,
+            load_event_log,
+            save_event_log,
+        )
+
+        log = simulate_l2(build_trace("bfs", length=200, seed=5), VOLTA)
+        path = tmp_path / "log.events"
+        save_event_log(log, path)
+        with path.open("r", encoding="utf-8") as fp:
+            reloaded = load_event_log(fp)
+        assert dumps_event_log(reloaded) == dumps_event_log(log)
+
+    def test_save_traffic_reports_round_trips(self, tmp_path):
+        from repro.gpu.config import VOLTA
+        from repro.gpu.simulator import replay_events, simulate_l2
+        from repro.harness.runner import EngineSpec
+        from repro.secure.engine import NoSecurityEngine
+        from repro.workloads.traceio import (
+            load_traffic_reports,
+            save_traffic_reports,
+        )
+
+        log = simulate_l2(build_trace("bfs", length=200, seed=5), VOLTA)
+        result = replay_events(log, EngineSpec(NoSecurityEngine), VOLTA,
+                               workers=1)
+        path = tmp_path / "snap.txt"
+        save_traffic_reports({"nosec": result.traffic}, path, name="t")
+        with path.open("r", encoding="utf-8") as fp:
+            reloaded = load_traffic_reports(fp)
+        assert set(reloaded) == {"nosec"}
+        assert (
+            reloaded["nosec"].bytes_by_stream
+            == result.traffic.bytes_by_stream
+        )
