@@ -14,7 +14,16 @@ Re-baselining after an intentional performance change::
 
     PYTHONPATH=src python benchmarks/check_regression.py --rebaseline
 
-then commit the updated ``benchmarks/baseline.json``. The speedup
+then commit the updated ``benchmarks/baseline.json``.
+
+A second mode gates the ``repro.harness bench`` trajectory instead:
+``--trajectory-entry fresh.json`` compares one fresh bench entry
+(calibration-normalized events/sec per engine and mode) against the
+latest comparable entry in ``--trajectory`` (default
+``benchmarks/BENCH_0001.json``) and fails on a normalized slowdown
+beyond ``--tolerance``.
+
+The speedup
 demonstration records wall-clock for ``replay_events`` at ``workers=1``
 vs ``workers=4`` on one full-size event log; the >= ``--min-speedup``
 assertion only arms when ``REPRO_REQUIRE_SPEEDUP=1`` (multi-core CI
@@ -126,6 +135,78 @@ def measure_parallel_speedup(workers: int = 4) -> dict:
     }
 
 
+def compare_trajectory(entry: dict, trajectory: dict,
+                       tolerance: float) -> dict:
+    """Compare a fresh ``bench`` entry against the committed trajectory.
+
+    Throughputs are normalized by each entry's own calibration number
+    (``eps * calibration_seconds`` = events per calibration unit of
+    CPU), so a slow runner is compared against what the recording
+    machine would have measured at its speed. A mode whose normalized
+    throughput drops below ``reference / tolerance`` is a regression.
+    """
+    entries = trajectory.get("entries") or []
+    reference = None
+    for candidate in reversed(entries):
+        if (
+            candidate.get("benchmark") == entry.get("benchmark")
+            and candidate.get("length") == entry.get("length")
+            and candidate.get("seed") == entry.get("seed")
+        ):
+            reference = candidate
+            break
+    if reference is None:
+        return {
+            "tolerance": tolerance,
+            "reference": None,
+            "rows": [],
+            "regressions": [],
+            "note": "no comparable trajectory entry "
+                    "(benchmark/length/seed mismatch); nothing to gate",
+        }
+    ref_cal = float(reference["calibration_seconds"])
+    cur_cal = float(entry["calibration_seconds"])
+    rows = []
+    for engine, current in sorted(entry.get("engines", {}).items()):
+        base = reference.get("engines", {}).get(engine)
+        for mode in ("serial_eps", "sharded_eps"):
+            cur_eps = current.get(mode)
+            if cur_eps is None:
+                continue
+            if base is None or base.get(mode) is None:
+                rows.append(
+                    {"name": f"{engine}:{mode}", "status": "new",
+                     "eps": cur_eps}
+                )
+                continue
+            cur_norm = cur_eps * cur_cal
+            base_norm = base[mode] * ref_cal
+            ratio = cur_norm / base_norm if base_norm else float("inf")
+            status = "regression" if ratio < 1.0 / tolerance else "ok"
+            rows.append(
+                {
+                    "name": f"{engine}:{mode}",
+                    "status": status,
+                    "eps": cur_eps,
+                    "reference_eps": base[mode],
+                    "normalized_ratio": ratio,
+                }
+            )
+    rows.sort(key=lambda r: r.get("normalized_ratio", float("inf")))
+    return {
+        "tolerance": tolerance,
+        "reference": {
+            "recorded": reference.get("recorded"),
+            "calibration_seconds": ref_cal,
+        },
+        "calibration_seconds": cur_cal,
+        "rows": rows,
+        "regressions": [
+            r["name"] for r in rows if r["status"] == "regression"
+        ],
+    }
+
+
 def compare(current: dict, baseline: dict, calibration: float,
             tolerance: float, min_time: float) -> dict:
     """Normalized current-vs-baseline comparison, most-regressed first."""
@@ -192,7 +273,34 @@ def main(argv=None) -> int:
         "--skip-speedup", action="store_true",
         help="omit the serial-vs-parallel demonstration (quick local runs)",
     )
+    parser.add_argument(
+        "--trajectory-entry", default=None, metavar="PATH",
+        help="compare a fresh `repro.harness bench --entry-out` JSON "
+             "against --trajectory instead of running the pytest gate",
+    )
+    parser.add_argument(
+        "--trajectory", default=str(HERE / "BENCH_0001.json"),
+        metavar="PATH",
+        help="committed trajectory file for --trajectory-entry "
+             "(default benchmarks/BENCH_0001.json)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trajectory_entry:
+        entry = json.loads(Path(args.trajectory_entry).read_text())
+        trajectory = json.loads(Path(args.trajectory).read_text())
+        report = compare_trajectory(entry, trajectory, args.tolerance)
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+        if report.get("note"):
+            print(report["note"])
+        for row in report["rows"]:
+            ratio = row.get("normalized_ratio")
+            detail = f" ratio={ratio:.2f}" if ratio is not None else ""
+            print(f"  {row['status']:>10}  {row['name']}{detail}")
+        if report["regressions"]:
+            print(f"REGRESSIONS: {report['regressions']}", file=sys.stderr)
+            return 1
+        return 0
 
     calibration = calibrate()
     print(f"calibration: {calibration * 1e3:.1f} ms")

@@ -22,6 +22,7 @@ from repro.common.bitops import xor_bytes
 from repro.common.errors import ConfigurationError
 from repro.crypto.aes import AES, BLOCK_SIZE
 from repro.crypto.sha256 import sha256
+from repro.obs.session import active as _obs_active
 
 
 def _encode_context(address: int, counter: int) -> bytes:
@@ -44,6 +45,12 @@ class MacAlgorithm:
             )
         self.key = key
         self.tag_bytes = tag_bytes
+        # Span profiler under span_detail profiling only; None keeps
+        # compute/verify at one attribute check per call.
+        obs = _obs_active()
+        self._prof = (
+            obs.profiler if obs.config.span_detail_active else None
+        )
 
     def _full_tag(self, message: bytes) -> bytes:
         raise NotImplementedError
@@ -51,7 +58,10 @@ class MacAlgorithm:
     def compute(self, data: bytes, address: int = 0, counter: int = 0) -> bytes:
         """MAC *data* bound to its (address, counter) context, truncated."""
         message = _encode_context(address, counter) + data
-        return self._full_tag(message)[: self.tag_bytes]
+        if self._prof is None:
+            return self._full_tag(message)[: self.tag_bytes]
+        with self._prof.span("crypto.mac.compute"):
+            return self._full_tag(message)[: self.tag_bytes]
 
     def verify(
         self, data: bytes, tag: bytes, address: int = 0, counter: int = 0

@@ -20,6 +20,7 @@ from repro.common.bitops import xor_bytes
 from repro.common.errors import BlockSizeError, KeySizeError
 from repro.crypto.aes import AES, BLOCK_SIZE
 from repro.crypto.gf import multiply_by_alpha_bytes
+from repro.obs.session import active as _obs_active
 
 
 class AesXts:
@@ -37,6 +38,12 @@ class AesXts:
         half = len(key) // 2
         self._data_cipher = AES(key[:half])
         self._tweak_cipher = AES(key[half:])
+        # Span profiler under span_detail profiling only; None keeps
+        # _process at one attribute check per call.
+        obs = _obs_active()
+        self._prof = (
+            obs.profiler if obs.config.span_detail_active else None
+        )
 
     def _initial_tweak(self, tweak: bytes) -> bytes:
         if len(tweak) != BLOCK_SIZE:
@@ -66,6 +73,13 @@ class AesXts:
         return self.decrypt(ciphertext, sector_number.to_bytes(16, "little"))
 
     def _process(self, data: bytes, tweak: bytes, encrypt: bool) -> bytes:
+        if self._prof is None:
+            return self._process_impl(data, tweak, encrypt)
+        name = "crypto.xts.encrypt" if encrypt else "crypto.xts.decrypt"
+        with self._prof.span(name):
+            return self._process_impl(data, tweak, encrypt)
+
+    def _process_impl(self, data: bytes, tweak: bytes, encrypt: bool) -> bytes:
         block_op = (
             self._data_cipher.encrypt_block
             if encrypt

@@ -368,9 +368,13 @@ def _replay_events_parallel(
         )
         return None
     obs = _obs_active()
-    # Workers get metrics but not tracing: ring buffers cannot merge
-    # without reordering, and per-event traces are a serial-debug tool.
-    child_obs = replace(obs.config, tracing=False) if obs.enabled else None
+    # Workers get metrics but not tracing or spans: ring buffers cannot
+    # merge without reordering, and per-event traces / span profiles
+    # are serial-debug tools.
+    child_obs = (
+        replace(obs.config, tracing=False, spans=False)
+        if obs.enabled else None
+    )
     n_workers = min(requested_workers, len(shards))
     start = time.perf_counter() if obs.enabled else 0.0
     ordered = sorted(shards)
@@ -611,16 +615,29 @@ def replay_events(
                     )
 
     start = time.perf_counter() if obs.enabled else 0.0
+    # Per-event spans only under span_detail: a clock pair per DRAM
+    # event is far too hot for the default profile path.
+    detail_prof = (
+        obs.profiler if obs.config.span_detail_active else None
+    )
     with obs.phase("replay_events", trace=log.trace_name):
         position = 0
         for event in log.events:
             engine = engine_for(event.partition)
             if event.kind is EventKind.FILL:
                 traffic.record(Stream.DATA_READ, 32, transactions=1)
-                engine.on_fill(event.sector_index, event.values)
+                if detail_prof is not None:
+                    with detail_prof.span("engine.fill"):
+                        engine.on_fill(event.sector_index, event.values)
+                else:
+                    engine.on_fill(event.sector_index, event.values)
             else:
                 traffic.record(Stream.DATA_WRITE, 32, transactions=1)
-                engine.on_writeback(event.sector_index, event.values)
+                if detail_prof is not None:
+                    with detail_prof.span("engine.writeback"):
+                        engine.on_writeback(event.sector_index, event.values)
+                else:
+                    engine.on_writeback(event.sector_index, event.values)
             if trace_mem:
                 obs.tracer.emit(
                     f"mem.{event.kind.value}",

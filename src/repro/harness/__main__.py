@@ -28,9 +28,22 @@ unfinished cells, ``--budget`` degrades gracefully into an explicit
 partial report, and ``--chaos`` sabotages the runtime on purpose; see
 docs/ARCHITECTURE.md § Resilient execution.
 
+``python -m repro.harness status <journal>`` monitors a supervised run
+from its journal, read-only and safe against the live campaign;
+``--follow`` tails it to completion. See docs/SCHEMAS.md for the
+journal record layout it consumes.
+
+``python -m repro.harness bench`` measures replay throughput
+(events/sec, serial and sharded) across engine design points and
+appends the result to the committed benchmark trajectory
+(benchmarks/BENCH_0001.json).
+
 ``python -m repro.harness list`` enumerates every key the other
 subcommands accept (benchmarks, engine design points, experiments,
 sweeps, fault campaigns, fuzz patterns, conformance invariants).
+
+All subcommands share the logging flags (``-v``/``-vv``/``-q``; see
+repro.harness.logsetup) and log to stderr only.
 
 Exit statuses are uniform across subcommands: 0 success, 1 violation
 or regression, 2 usage/runtime error (one-line message, never a
@@ -50,6 +63,7 @@ from repro.common.errors import (
     ReproError,
 )
 from repro.harness.experiments import EXPERIMENTS
+from repro.harness.logsetup import add_logging_flags, setup_logging
 from repro.harness.report import render_experiment, render_profile
 from repro.harness.runner import (
     DEFAULT_TRACE_LENGTH,
@@ -158,8 +172,25 @@ def profile_main(argv) -> int:
         "--trace-events", action="store_true",
         help="also trace every individual fill/writeback (verbose)",
     )
+    parser.add_argument(
+        "--span-detail", action="store_true",
+        help="profile per-event spans too (engine reads/writes, BMT "
+             "traversals, crypto primitives); higher overhead",
+    )
+    parser.add_argument(
+        "--chrome-out", default=None, metavar="PATH",
+        help="write the span profile as Chrome trace_event JSON "
+             "(load in chrome://tracing or Perfetto)",
+    )
+    parser.add_argument(
+        "--collapsed-out", default=None, metavar="PATH",
+        help="write the span profile as collapsed stacks "
+             "(flamegraph.pl / speedscope input)",
+    )
     _add_execution_flags(parser)
+    add_logging_flags(parser)
     args = parser.parse_args(argv)
+    setup_logging(args)
     _check_known(parser, "benchmark", args.benchmark, benchmark_names())
     _check_known(parser, "engine", args.engine, engine_factories())
 
@@ -175,9 +206,12 @@ def profile_main(argv) -> int:
                 enabled=True,
                 interval_events=args.interval,
                 trace_memory_events=args.trace_events,
+                span_detail=args.span_detail,
             ),
             metrics_out=args.metrics_out,
             trace_out=args.trace_out,
+            chrome_out=args.chrome_out,
+            collapsed_out=args.collapsed_out,
             workers=args.workers,
             shard_timeout=args.shard_timeout,
             cache_dir=args.cache_dir,
@@ -226,7 +260,9 @@ def inject_main(argv) -> int:
              "or .cache; pass '' to disable)",
     )
     add_resilience_flags(parser, journal=False)
+    add_logging_flags(parser)
     args = parser.parse_args(argv)
+    setup_logging(args)
     _check_known(parser, "benchmark", args.benchmark, benchmark_names())
     _check_known(parser, "campaign", args.campaign, CAMPAIGNS)
     for engine in args.engines or ():
@@ -304,7 +340,9 @@ def conform_main(argv) -> int:
              "chunking never changes results, only journal granularity",
     )
     add_resilience_flags(parser)
+    add_logging_flags(parser)
     args = parser.parse_args(argv)
+    setup_logging(args)
     if args.fuzz < 0:
         parser.error("--fuzz must be >= 0")
     if args.fuzz_chunk < 1:
@@ -386,7 +424,9 @@ def sweep_main(argv) -> int:
     )
     _add_execution_flags(parser)
     add_resilience_flags(parser)
+    add_logging_flags(parser)
     args = parser.parse_args(argv)
+    setup_logging(args)
     _check_known(parser, "sweep", args.sweep, set(SWEEP_NAMES))
     _check_known(parser, "benchmark", args.benchmark, benchmark_names())
 
@@ -409,11 +449,15 @@ def sweep_main(argv) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_USAGE
+    from repro.resilience import render_campaign_telemetry
+
     report = render_sweep(
         args.sweep, args.benchmark, completed_rows(campaign, outcome), outcome
     )
     print(report)
     print(render_outcome(outcome), file=sys.stderr)
+    if outcome.telemetry:
+        print(render_campaign_telemetry(outcome.telemetry), file=sys.stderr)
     if args.report_out:
         from repro.common.atomicio import atomic_write_text
 
@@ -427,7 +471,9 @@ def list_main(argv) -> int:
         prog="python -m repro.harness list",
         description="Enumerate the keys every subcommand accepts.",
     )
-    parser.parse_args(argv)
+    add_logging_flags(parser)
+    args = parser.parse_args(argv)
+    setup_logging(args)
 
     from repro.conformance.corpus import CORPUS
     from repro.conformance.fuzzer import PATTERNS
@@ -465,6 +511,14 @@ def main(argv=None) -> int:
         return conform_main(argv[1:])
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "status":
+        from repro.harness.status import status_main
+
+        return status_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.harness.bench import bench_main
+
+        return bench_main(argv[1:])
     if argv and argv[0] == "list":
         return list_main(argv[1:])
     parser = argparse.ArgumentParser(
@@ -501,7 +555,9 @@ def main(argv=None) -> int:
              "any other resilience flag)",
     )
     add_resilience_flags(parser)
+    add_logging_flags(parser)
     args = parser.parse_args(argv)
+    setup_logging(args)
 
     selected = args.experiments or sorted(EXPERIMENTS)
     unknown = [e for e in selected if e not in EXPERIMENTS]

@@ -1,0 +1,72 @@
+"""Shared stdlib-logging setup for every harness subcommand.
+
+One flag vocabulary (``-v/--verbose``, ``-q/--quiet``) and one stderr
+formatter configure the ``repro`` logger hierarchy; modules log through
+``logging.getLogger("repro.<area>")`` and inherit it. Reports and
+machine-readable output stay on **stdout**; logging — like every other
+diagnostic stream in the harness — goes to **stderr**, so piping a
+report into a file or a diff never captures log lines.
+
+Defaults: WARNING. ``-v`` selects INFO, ``-vv`` (or more) DEBUG, and
+``-q`` ERROR; ``-q`` wins over ``-v`` when both are given. Setup is
+idempotent — re-invoking ``main()`` in-process (tests do) reconfigures
+the existing handler instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import sys
+
+#: The root of the harness logger hierarchy.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def add_logging_flags(parser: argparse.ArgumentParser) -> None:
+    """Install the shared ``-v/--verbose`` / ``-q/--quiet`` flags."""
+    group = parser.add_argument_group("logging")
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-v: info, -vv: debug)",
+    )
+    group.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="only log errors (overrides -v)",
+    )
+
+
+def setup_logging(args: argparse.Namespace) -> logging.Logger:
+    """Configure the ``repro`` logger from parsed flags; returns it.
+
+    Safe to call once per (sub)command invocation: the single stderr
+    handler is created on first use and re-leveled afterwards.
+    """
+    verbose = getattr(args, "verbose", 0) or 0
+    quiet = bool(getattr(args, "quiet", False))
+    if quiet:
+        level = logging.ERROR
+    elif verbose >= 2:
+        level = logging.DEBUG
+    elif verbose == 1:
+        level = logging.INFO
+    else:
+        level = logging.WARNING
+
+    logger = logging.getLogger(ROOT_LOGGER)
+    logger.setLevel(level)
+    logger.propagate = False
+    handler = None
+    for existing in logger.handlers:
+        if getattr(existing, "_repro_harness", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler._repro_harness = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    handler.setLevel(level)
+    return logger

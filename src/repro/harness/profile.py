@@ -16,7 +16,14 @@ from typing import Dict, Optional
 from repro.gpu.config import VOLTA, GpuConfig
 from repro.gpu.simulator import SimulationResult
 from repro.harness.runner import DEFAULT_TRACE_LENGTH, ExperimentContext
-from repro.obs import ObsConfig, ObsSession, write_metrics_json, write_trace_jsonl
+from repro.obs import (
+    ObsConfig,
+    ObsSession,
+    write_chrome_trace,
+    write_collapsed,
+    write_metrics_json,
+    write_trace_jsonl,
+)
 
 
 @dataclass
@@ -30,6 +37,10 @@ class ProfileResult:
     metrics_path: Optional[str] = None
     trace_path: Optional[str] = None
     trace_events_written: int = 0
+    chrome_path: Optional[str] = None
+    chrome_events_written: int = 0
+    collapsed_path: Optional[str] = None
+    collapsed_stacks_written: int = 0
 
     def headline(self) -> Dict[str, object]:
         """Summary numbers embedded in the metrics JSON ``extra`` block."""
@@ -60,6 +71,8 @@ def run_profile(
     obs: Optional[ObsConfig] = None,
     metrics_out: Optional[str] = None,
     trace_out: Optional[str] = None,
+    chrome_out: Optional[str] = None,
+    collapsed_out: Optional[str] = None,
     workers: "int | None" = 1,
     shard_timeout: Optional[float] = None,
     cache_dir: Optional[str] = None,
@@ -70,6 +83,8 @@ def run_profile(
     semantics (1 = serial, ``None`` = auto, >= 2 = sharded replay whose
     worker metrics are merged back into this session's registry);
     ``shard_timeout`` likewise bounds each shard's wall-clock seconds.
+    ``chrome_out`` / ``collapsed_out`` export the span profiler as a
+    Chrome ``trace_event`` JSON / a collapsed-stack (flamegraph) file.
     """
     if obs is None:
         obs = ObsConfig(enabled=True)
@@ -93,6 +108,8 @@ def run_profile(
         session=ctx.obs_session,
         metrics_path=metrics_out,
         trace_path=trace_out,
+        chrome_path=chrome_out,
+        collapsed_path=collapsed_out,
     )
     if metrics_out:
         write_metrics_json(
@@ -100,9 +117,18 @@ def run_profile(
             ctx.obs_session.registry,
             config=obs,
             extra=profile.headline(),
+            session=ctx.obs_session,
         )
     if trace_out:
         profile.trace_events_written = write_trace_jsonl(
             trace_out, ctx.obs_session.tracer
+        )
+    if chrome_out:
+        profile.chrome_events_written = write_chrome_trace(
+            chrome_out, ctx.obs_session.profiler
+        )
+    if collapsed_out:
+        profile.collapsed_stacks_written = write_collapsed(
+            collapsed_out, ctx.obs_session.profiler
         )
     return profile

@@ -211,15 +211,41 @@ def render_profile(profile) -> str:
         rendered = ", ".join(f"{k}={v:,}" for k, v in sorted(engine_rows.items()))
         lines.append(f"engine:   {rendered}")
 
+    # Span hotspots (wall-time tree of instrumented pipeline phases).
+    profiler = profile.session.profiler
+    if profiler.enabled and profiler.stats():
+        from repro.obs import render_hotspots
+
+        lines.append(render_hotspots(profiler))
+
     if tracer.enabled:
         dropped = f" ({tracer.dropped:,} dropped)" if tracer.dropped else ""
         lines.append(f"trace:    {len(tracer):,} events retained{dropped}")
+    from repro.obs import sampler_compactions
+
+    compactions = sampler_compactions(registry)
+    if compactions["compactions"]:
+        lines.append(
+            f"samplers: {compactions['compactions']} compaction(s) across "
+            f"{compactions['series']} series (resolution halved to stay "
+            "within the window)"
+        )
     if profile.metrics_path:
         lines.append(f"metrics json: {profile.metrics_path}")
     if profile.trace_path:
         lines.append(
             f"trace jsonl:  {profile.trace_path} "
             f"({profile.trace_events_written} lines)"
+        )
+    if profile.chrome_path:
+        lines.append(
+            f"chrome trace: {profile.chrome_path} "
+            f"({profile.chrome_events_written} events)"
+        )
+    if profile.collapsed_path:
+        lines.append(
+            f"collapsed:    {profile.collapsed_path} "
+            f"({profile.collapsed_stacks_written} stacks)"
         )
     return "\n".join(lines) + "\n"
 

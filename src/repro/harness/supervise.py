@@ -157,8 +157,23 @@ def build_supervisor(
             or getattr(args, "run_id", None)
             or campaign.default_run_id
         )
+        # Record the budget in the run header so the live `status`
+        # monitor can report consumption without access to the args.
+        budget_meta = {
+            key: value
+            for key, value in (
+                ("wall_clock_s", budget.wall_clock_s),
+                ("unit_timeout_s", budget.unit_timeout_s),
+                ("max_rss_mb", budget.max_rss_mb),
+            )
+            if value is not None
+        }
         journal = RunJournal.open(
-            run_dir, run_id, campaign, require_existing=resume is not None
+            run_dir,
+            run_id,
+            campaign,
+            require_existing=resume is not None,
+            meta={"budget": budget_meta} if budget_meta else None,
         )
     return Supervisor(
         policy=policy, budget=budget, chaos=chaos, journal=journal

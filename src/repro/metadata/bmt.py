@@ -157,18 +157,23 @@ class BmtTraversal:
         # "compact_bmt") so the profile dashboard can show how deep
         # walks actually go before hitting a cached node.
         obs = _obs_active()
+        self._family = (
+            "compact_bmt"
+            if read_stream is Stream.COMPACT_BMT_READ
+            else "bmt"
+        )
         if obs.config.metrics_active:
-            family = (
-                "compact_bmt"
-                if read_stream is Stream.COMPACT_BMT_READ
-                else "bmt"
-            )
             self._h_verify_depth = obs.registry.histogram(
-                f"{family}.verify_depth",
+                f"{self._family}.verify_depth",
                 bounds=tuple(range(0, max(2, geometry.root_level) + 1)),
             )
         else:
             self._h_verify_depth = None
+        # Per-walk spans only under span_detail profiling (a clock pair
+        # per traversal); None keeps the hot path at one attribute check.
+        self._prof = (
+            obs.profiler if obs.config.span_detail_active else None
+        )
 
     # -- address helpers -------------------------------------------------
 
@@ -239,6 +244,14 @@ class BmtTraversal:
         first cached (already-verified) node. Returns the number of tree
         levels that had to be fetched from memory.
         """
+        if self._prof is None:
+            return self._verify_leaf(leaf_index)
+        with self._prof.span(f"{self._family}.verify"):
+            fetched = self._verify_leaf(leaf_index)
+            self._prof.add("levels_fetched", fetched)
+            return fetched
+
+    def _verify_leaf(self, leaf_index: int) -> int:
         fetched = 0
         for level in range(1, self.geometry.root_level + 1):
             if level == self.geometry.root_level:
@@ -270,6 +283,13 @@ class BmtTraversal:
         path needed to load it); hashes flow upward at eviction time.
         Eager mode rewrites the whole path to the root immediately.
         """
+        if self._prof is None:
+            self._update_leaf(leaf_index)
+        else:
+            with self._prof.span(f"{self._family}.update"):
+                self._update_leaf(leaf_index)
+
+    def _update_leaf(self, leaf_index: int) -> None:
         if self.geometry.root_level == 1:
             return  # parent is the root itself; nothing stored off-chip
         if self.lazy_update:

@@ -11,8 +11,19 @@ from repro.obs.config import DISABLED, ObsConfig
 from repro.obs.export import (
     METRICS_SCHEMA,
     metrics_payload,
+    sampler_compactions,
+    summary_block,
     write_metrics_json,
     write_trace_jsonl,
+)
+from repro.obs.hotspots import (
+    CHROME_TRACE_SCHEMA,
+    chrome_trace,
+    collapsed_stacks,
+    hotspot_tree,
+    render_hotspots,
+    write_chrome_trace,
+    write_collapsed,
 )
 from repro.obs.metrics import (
     NULL_REGISTRY,
@@ -24,9 +35,28 @@ from repro.obs.metrics import (
     Sampler,
 )
 from repro.obs.session import DISABLED_SESSION, ObsSession, activate, active
+from repro.obs.spans import (
+    NULL_SPAN_PROFILER,
+    NullSpanProfiler,
+    SpanProfiler,
+    SpanStats,
+)
 from repro.obs.tracer import NULL_TRACER, EventTracer, NullTracer
 
 __all__ = [
+    "SpanProfiler",
+    "SpanStats",
+    "NullSpanProfiler",
+    "NULL_SPAN_PROFILER",
+    "CHROME_TRACE_SCHEMA",
+    "hotspot_tree",
+    "render_hotspots",
+    "collapsed_stacks",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_collapsed",
+    "sampler_compactions",
+    "summary_block",
     "ObsConfig",
     "DISABLED",
     "ObsSession",

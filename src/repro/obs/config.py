@@ -39,6 +39,17 @@ class ObsConfig:
     #: Also trace every individual fill/writeback event (very verbose;
     #: bounded by the ring buffer).
     trace_memory_events: bool = False
+    #: Collect hierarchical profiler spans at pipeline-phase granularity
+    #: (requires ``enabled``).
+    spans: bool = True
+    #: Also open per-operation spans on the hot paths — engine
+    #: counter/MAC reads, BMT traversals, crypto primitives, individual
+    #: replay events. Expensive (a clock pair per operation); off by
+    #: default even in profile runs.
+    span_detail: bool = False
+    #: Raw per-call span records retained for the Chrome trace export;
+    #: aggregates are unaffected by this bound.
+    max_spans: int = 65536
 
     def __post_init__(self) -> None:
         if self.interval_events < 0:
@@ -47,6 +58,8 @@ class ObsConfig:
             raise ConfigurationError("ring_capacity must be positive")
         if self.sampler_window < 8:
             raise ConfigurationError("sampler_window must be at least 8")
+        if self.max_spans <= 0:
+            raise ConfigurationError("max_spans must be positive")
 
     @property
     def metrics_active(self) -> bool:
@@ -55,6 +68,14 @@ class ObsConfig:
     @property
     def tracing_active(self) -> bool:
         return self.enabled and self.tracing
+
+    @property
+    def spans_active(self) -> bool:
+        return self.enabled and self.spans
+
+    @property
+    def span_detail_active(self) -> bool:
+        return self.enabled and self.spans and self.span_detail
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)

@@ -1,39 +1,85 @@
 """Serialization of collected metrics and traces.
 
-Two stable on-disk formats:
+Two stable on-disk formats (full field reference: docs/SCHEMAS.md):
 
 * ``metrics.json`` — one object: a schema tag, the originating
   :class:`~repro.obs.config.ObsConfig`, every registry instrument under
-  ``metrics`` (keyed by dotted name), and a free-form ``extra`` section
-  for caller headline numbers.
-* ``events.jsonl`` — the tracer's ring buffer, one JSON event per line
-  (schema documented in docs/ARCHITECTURE.md).
+  ``metrics`` (keyed by dotted name), a ``summary`` block exposing
+  collection-side data loss (tracer ring drops, sampler compactions,
+  span ring drops and unclosed spans), and a free-form ``extra``
+  section for caller headline numbers.
+* ``events.jsonl`` — the tracer's ring buffer, one JSON event per line.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.common.atomicio import atomic_write_text
 from repro.obs.config import ObsConfig
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, Sampler
 from repro.obs.tracer import EventTracer
 
-#: Version tag for the metrics JSON layout.
-METRICS_SCHEMA = "repro.obs/1"
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.session import ObsSession
+
+#: Version tag for the metrics JSON layout. ``/2`` added the
+#: ``summary`` data-loss block and the sampler ``compactions`` field.
+METRICS_SCHEMA = "repro.obs/2"
+
+
+def sampler_compactions(registry: MetricsRegistry) -> Dict[str, int]:
+    """Sampler data-loss roll-up: series count and total compactions."""
+    samplers = [
+        inst for _name, inst in registry.items() if isinstance(inst, Sampler)
+    ]
+    return {
+        "series": len(samplers),
+        "compactions": sum(s.compactions for s in samplers),
+    }
+
+
+def summary_block(session: Optional["ObsSession"]) -> Dict[str, object]:
+    """The ``summary`` section: where collection lost or folded data.
+
+    Everything here is *meta* — it describes the fidelity of the export
+    (ring-buffer drops, sampler resolution halvings, span records lost,
+    spans still open), not the measured workload.
+    """
+    if session is None:
+        return {}
+    tracer = session.tracer
+    profiler = session.profiler
+    return {
+        "tracer": {
+            "emitted": tracer.emitted,
+            "retained": len(tracer),
+            "dropped": tracer.dropped,
+        },
+        "samplers": sampler_compactions(session.registry),
+        "spans": {
+            "recorded": profiler.recorded,
+            "retained": len(profiler),
+            "dropped": profiler.dropped,
+            "forced_closes": profiler.forced_closes,
+            "open": profiler.open_spans(),
+        },
+    }
 
 
 def metrics_payload(
     registry: MetricsRegistry,
     config: Optional[ObsConfig] = None,
     extra: Optional[Dict[str, object]] = None,
+    session: Optional["ObsSession"] = None,
 ) -> Dict[str, object]:
     """The JSON-able object ``write_metrics_json`` persists."""
     return {
         "schema": METRICS_SCHEMA,
         "config": config.as_dict() if config is not None else None,
         "metrics": registry.as_dict(),
+        "summary": summary_block(session),
         "extra": extra or {},
     }
 
@@ -43,14 +89,18 @@ def write_metrics_json(
     registry: MetricsRegistry,
     config: Optional[ObsConfig] = None,
     extra: Optional[Dict[str, object]] = None,
+    session: Optional["ObsSession"] = None,
 ) -> None:
     """Dump a registry (plus headline extras) as one JSON document.
 
+    Passing the owning *session* adds the ``summary`` data-loss block.
     The write is crash-atomic (same-directory temp file + rename): a
     kill mid-export never leaves a torn metrics file behind.
     """
     text = json.dumps(
-        metrics_payload(registry, config, extra), indent=2, sort_keys=True
+        metrics_payload(registry, config, extra, session),
+        indent=2,
+        sort_keys=True,
     )
     atomic_write_text(path, text + "\n")
 

@@ -104,6 +104,34 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Upper-bound estimate of the *q*-quantile (``0 <= q <= 1``).
+
+        Returns the inclusive upper edge of the bucket containing the
+        q-th recorded value, clamped to the observed ``min``/``max``
+        (so ``percentile(0)`` is exactly ``min`` and ``percentile(1)``
+        exactly ``max``, even for the overflow bucket). ``None`` when
+        nothing was recorded.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"percentile q must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        # min/max are recorded, so they are not None here.
+        if q == 0.0:
+            return self.min
+        rank = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if i == len(self.bounds):
+                    return self.max  # Overflow bucket has no upper edge.
+                edge = self.bounds[i]
+                assert self.min is not None and self.max is not None
+                return min(max(edge, self.min), self.max)
+        return self.max  # pragma: no cover - cumulative always reaches count
+
     def merge_snapshot(self, entry: Dict[str, object]) -> None:
         """Fold a serialized histogram with identical bounds into this one."""
         bounds = tuple(entry["bounds"])  # type: ignore[arg-type]
@@ -153,7 +181,10 @@ class Sampler:
     """
 
     kind = "sampler"
-    __slots__ = ("name", "window", "agg", "_positions", "_values", "recorded")
+    __slots__ = (
+        "name", "window", "agg", "_positions", "_values", "recorded",
+        "compactions",
+    )
 
     def __init__(self, name: str, window: int = 512, agg: str = "mean") -> None:
         if window < 8:
@@ -166,6 +197,7 @@ class Sampler:
         self._positions: List[float] = []
         self._values: List[float] = []
         self.recorded = 0
+        self.compactions = 0
 
     def record(self, position: float, value: float) -> None:
         self._positions.append(position)
@@ -176,6 +208,7 @@ class Sampler:
 
     def _compact(self) -> None:
         """Merge adjacent pairs; an odd trailing point is kept as-is."""
+        self.compactions += 1
         positions: List[float] = []
         values: List[float] = []
         n = len(self._values)
@@ -241,6 +274,7 @@ class Sampler:
         self._positions = positions
         self._values = values
         self.recorded += int(entry.get("recorded", len(incoming)))  # type: ignore[arg-type]
+        self.compactions += int(entry.get("compactions", 0))  # type: ignore[arg-type]
         while len(self._values) > self.window:
             self._compact()
 
@@ -250,6 +284,7 @@ class Sampler:
             "agg": self.agg,
             "window": self.window,
             "recorded": self.recorded,
+            "compactions": self.compactions,
             "positions": list(self._positions),
             "values": list(self._values),
         }

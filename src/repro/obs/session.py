@@ -25,13 +25,14 @@ from typing import Iterator, Optional
 
 from repro.obs.config import ObsConfig
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.spans import NULL_SPAN_PROFILER, SpanProfiler
 from repro.obs.tracer import NULL_TRACER, EventTracer
 
 
 class ObsSession:
-    """One instrumentation scope: a config, a registry, and a tracer."""
+    """One instrumentation scope: config, registry, tracer, profiler."""
 
-    __slots__ = ("config", "enabled", "registry", "tracer")
+    __slots__ = ("config", "enabled", "registry", "tracer", "profiler")
 
     def __init__(self, config: Optional[ObsConfig] = None) -> None:
         self.config = config if config is not None else ObsConfig()
@@ -44,6 +45,11 @@ class ObsSession:
             if self.config.tracing_active
             else NULL_TRACER
         )
+        self.profiler = (
+            SpanProfiler(self.config.max_spans)
+            if self.config.spans_active
+            else NULL_SPAN_PROFILER
+        )
 
     @contextmanager
     def phase(self, name: str, **attrs: object) -> Iterator[None]:
@@ -51,18 +57,23 @@ class ObsSession:
 
         Emits a ``phase.<name>`` span and sets a ``phase.<name>.seconds``
         gauge, so phase timings survive in the metrics JSON even when
-        tracing is off. No clock is read when the session is disabled.
+        tracing is off. Each phase also opens a profiler span, giving
+        the hotspot tree its top-level hierarchy. No clock is read when
+        the session is disabled.
         """
         if not self.enabled:
             yield
             return
         start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.registry.gauge(f"phase.{name}.seconds").set(elapsed)
-            self.tracer.emit(f"phase.{name}", kind="span", dur=elapsed, **attrs)
+        with self.profiler.span(name, **attrs):
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                self.registry.gauge(f"phase.{name}.seconds").set(elapsed)
+                self.tracer.emit(
+                    f"phase.{name}", kind="span", dur=elapsed, **attrs
+                )
 
 
 #: The shared everything-off session; the default active session.

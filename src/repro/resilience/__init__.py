@@ -26,6 +26,11 @@ from repro.resilience.policy import (
     classify_failure,
 )
 from repro.resilience.report import missing_cell_lines, render_outcome
+from repro.resilience.telemetry import (
+    UnitTelemetry,
+    render_campaign_telemetry,
+    rollup,
+)
 from repro.resilience.supervisor import (
     STATUS_CANCELLED,
     STATUS_FAILED,
@@ -65,7 +70,10 @@ __all__ = [
     "STATUS_SKIPPED",
     "Supervisor",
     "UnitOutcome",
+    "UnitTelemetry",
     "WorkUnit",
+    "render_campaign_telemetry",
+    "rollup",
     "campaign_fingerprint",
     "canonical_params",
     "classify_failure",

@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import JournalError
 from repro.resilience.units import Campaign, WorkUnit
@@ -48,9 +49,17 @@ def journal_path(run_dir: "str | os.PathLike[str]", run_id: str) -> Path:
 class RunJournal:
     """One run's append-only outcome log."""
 
-    def __init__(self, path: Path, run_id: str) -> None:
+    def __init__(
+        self,
+        path: Path,
+        run_id: str,
+        time_source: Callable[[], float] = time.time,
+    ) -> None:
         self.path = path
         self.run_id = run_id
+        #: Wall-clock source for record timestamps (injectable so tests
+        #: can journal deterministically).
+        self.time_source = time_source
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -61,12 +70,18 @@ class RunJournal:
         run_id: str,
         campaign: Campaign,
         require_existing: bool = False,
+        meta: Optional[Dict[str, object]] = None,
     ) -> "RunJournal":
         """Create the journal, or resume it if one already exists.
 
         ``require_existing=True`` (the ``--resume`` path) refuses to
         start fresh: pointing resume at an unknown run id is a user
         error, not an invitation to redo all the work silently.
+
+        ``meta`` keys (e.g. the run's resource budget, for the live
+        ``status`` monitor) are folded into the run header on creation;
+        they never override the reserved header fields and are ignored
+        when resuming an existing journal.
         """
         path = journal_path(run_dir, run_id)
         journal = cls(path, run_id)
@@ -88,16 +103,18 @@ class RunJournal:
                 "nothing to resume"
             )
         path.parent.mkdir(parents=True, exist_ok=True)
-        journal._append(
-            {
-                "type": "run",
-                "schema": JOURNAL_SCHEMA,
-                "run_id": run_id,
-                "campaign": campaign.name,
-                "fingerprint": campaign.fingerprint,
-                "units": len(campaign.units),
-            }
-        )
+        header: Dict[str, object] = {
+            "type": "run",
+            "schema": JOURNAL_SCHEMA,
+            "run_id": run_id,
+            "campaign": campaign.name,
+            "fingerprint": campaign.fingerprint,
+            "units": len(campaign.units),
+        }
+        if meta:
+            for key, value in meta.items():
+                header.setdefault(key, value)
+        journal._append(header)
         return journal
 
     def _truncate_torn_tail(self) -> None:
@@ -208,6 +225,7 @@ class RunJournal:
         failure_class: Optional[str] = None,
         error: Optional[str] = None,
         result: Optional[object] = None,
+        telemetry: Optional[Dict[str, object]] = None,
     ) -> None:
         record: Dict[str, object] = {
             "type": "unit",
@@ -222,17 +240,30 @@ class RunJournal:
             record["failure_class"] = failure_class
         if error is not None:
             record["error"] = error
+        if telemetry is not None:
+            record["telemetry"] = telemetry
         if status == "ok":
             record["result"] = result
         self._append(record)
 
-    def record_end(self, status: str, reason: Optional[str] = None) -> None:
+    def record_end(
+        self,
+        status: str,
+        reason: Optional[str] = None,
+        telemetry: Optional[Dict[str, object]] = None,
+    ) -> None:
         record: Dict[str, object] = {"type": "end", "status": status}
         if reason is not None:
             record["reason"] = reason
+        if telemetry is not None:
+            record["telemetry"] = telemetry
         self._append(record)
 
     def _append(self, record: Dict[str, object]) -> None:
+        # Every record carries a wall-clock timestamp so the live
+        # `status` monitor can compute throughput and ETA from the
+        # journal alone.
+        record.setdefault("ts", round(self.time_source(), 3))
         # No sort_keys: result payload key order is part of the report
         # (format_table renders columns in insertion order).
         line = json.dumps(record, separators=(",", ":"))

@@ -30,10 +30,11 @@ from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import EXIT_OK, EXIT_PARTIAL
 from repro.obs import active
-from repro.resilience.budget import BudgetGuard, ResourceBudget
+from repro.resilience.budget import BudgetGuard, ResourceBudget, current_rss_mb
 from repro.resilience.chaos import ChaosMonkey
 from repro.resilience.journal import RunJournal
 from repro.resilience.policy import FailureClass, RetryPolicy, classify_failure
+from repro.resilience.telemetry import UnitTelemetry, rollup
 from repro.resilience.units import Campaign, WorkUnit
 
 #: Unit statuses a :class:`UnitOutcome` can carry.
@@ -57,6 +58,9 @@ class UnitOutcome:
     elapsed_s: float = 0.0
     #: JSON-normalized result payload (``ok``/``skipped`` only).
     result: Optional[object] = None
+    #: Resource measurements for the attempt series (journal form);
+    #: ``None`` for skipped/cancelled units, which never executed here.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def completed(self) -> bool:
@@ -75,6 +79,9 @@ class CampaignOutcome:
     #: tripped; units may still have failed).
     degraded: Optional[str] = None
     wall_s: float = 0.0
+    #: Roll-up of per-unit resource telemetry (measured units only);
+    #: see :func:`repro.resilience.telemetry.rollup`.
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     def count(self, status: str) -> int:
         return sum(1 for o in self.outcomes if o.status == status)
@@ -110,6 +117,8 @@ class Supervisor:
         journal: Optional[RunJournal] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
+        cpu_clock: Callable[[], float] = time.process_time,
+        rss_probe: Callable[[], Optional[float]] = current_rss_mb,
     ) -> None:
         self.policy = policy if policy is not None else RetryPolicy()
         self.budget = budget if budget is not None else ResourceBudget()
@@ -117,6 +126,9 @@ class Supervisor:
         self.journal = journal
         self.sleep = sleep
         self.clock = clock
+        #: Telemetry clocks/probes, injectable for deterministic tests.
+        self.cpu_clock = cpu_clock
+        self.rss_probe = rss_probe
 
     def run(self, campaign: Campaign) -> CampaignOutcome:
         """Execute *campaign* to a :class:`CampaignOutcome`."""
@@ -182,10 +194,15 @@ class Supervisor:
             guard.stop()
         outcome.wall_s = guard.elapsed()
         registry.gauge("resilience.wall_seconds").set(outcome.wall_s)
+        outcome.telemetry = rollup(u.telemetry for u in outcome.outcomes)
+        registry.gauge("resilience.cpu_seconds").set(
+            float(outcome.telemetry.get("cpu_s", 0.0))  # type: ignore[arg-type]
+        )
         if self.journal is not None:
             self.journal.record_end(
                 "partial" if outcome.partial else "complete",
                 reason=outcome.degraded,
+                telemetry=outcome.telemetry,
             )
         tracer.emit(
             "resilience.end",
@@ -214,9 +231,18 @@ class Supervisor:
     ) -> UnitOutcome:
         policy = self.policy
         start = self.clock()
+        cpu_start = self.cpu_clock()
         failure: Optional[FailureClass] = None
         error: Optional[str] = None
         attempt = 0
+
+        def measure(elapsed: float, attempts: int) -> Dict[str, object]:
+            return UnitTelemetry(
+                wall_s=elapsed,
+                cpu_s=max(0.0, self.cpu_clock() - cpu_start),
+                rss_mb=self.rss_probe(),
+                retries=max(0, attempts - 1),
+            ).as_dict()
         for attempt in range(1, policy.max_attempts + 1):
             try:
                 if self.chaos is not None:
@@ -251,9 +277,11 @@ class Supervisor:
                 self.sleep(policy.backoff_delay(unit.unit_id, attempt))
             else:
                 elapsed = self.clock() - start
+                telemetry = measure(elapsed, attempt)
                 if self.journal is not None:
                     self.journal.record_unit(
-                        unit, STATUS_OK, attempt, elapsed, result=payload
+                        unit, STATUS_OK, attempt, elapsed, result=payload,
+                        telemetry=telemetry,
                     )
                 registry.counter("resilience.units_ok").inc()
                 tracer.emit(
@@ -270,8 +298,10 @@ class Supervisor:
                     attempts=attempt,
                     elapsed_s=elapsed,
                     result=payload,
+                    telemetry=telemetry,
                 )
         elapsed = self.clock() - start
+        telemetry = measure(elapsed, attempt)
         failure_value = failure.value if failure is not None else None
         if self.journal is not None and failure is not FailureClass.BUDGET:
             # Budget failures stay out of the journal: the unit never
@@ -283,6 +313,7 @@ class Supervisor:
                 elapsed,
                 failure_class=failure_value,
                 error=error,
+                telemetry=telemetry,
             )
         registry.counter("resilience.units_failed").inc()
         return UnitOutcome(
@@ -294,4 +325,5 @@ class Supervisor:
             failure_class=failure_value,
             error=error,
             elapsed_s=elapsed,
+            telemetry=telemetry,
         )

@@ -95,6 +95,13 @@ class PartitionEngine:
         #: singleton by default); subclasses emit tracer events and the
         #: replay loop polls :meth:`obs_snapshot` through it.
         self.obs = _obs_active()
+        #: Span profiler for per-operation hot-path spans, or None
+        #: unless ``span_detail`` profiling is on — the metadata paths
+        #: guard on this single attribute.
+        self._prof = (
+            self.obs.profiler
+            if self.obs.config.span_detail_active else None
+        )
 
     def on_fill(self, sector_index: int, values: Optional[bytes]) -> None:
         """Handle a data-sector fetch from DRAM (L2 read miss)."""
@@ -216,9 +223,20 @@ class MetadataEngine(PartitionEngine):
             )
 
     # -- counter path ----------------------------------------------------------
+    #
+    # The public counter/MAC methods are span-instrumented template
+    # methods; designs that specialize a path override the ``_``-prefixed
+    # implementation so detail profiling covers every engine uniformly.
 
     def counter_read(self, sector_index: int) -> None:
         """Bring the sector's encryption counter on-chip, verified."""
+        if self._prof is None:
+            self._counter_read(sector_index)
+        else:
+            with self._prof.span("engine.counter_read"):
+                self._counter_read(sector_index)
+
+    def _counter_read(self, sector_index: int) -> None:
         line, mask = self.layout.counter_location(sector_index)
         result = self.counter_cache.access(line, mask, write=False)
         if result.miss_mask:
@@ -233,6 +251,13 @@ class MetadataEngine(PartitionEngine):
 
     def counter_write(self, sector_index: int) -> None:
         """Advance the sector's counter for a writeback (dirty in cache)."""
+        if self._prof is None:
+            self._counter_write(sector_index)
+        else:
+            with self._prof.span("engine.counter_write"):
+                self._counter_write(sector_index)
+
+    def _counter_write(self, sector_index: int) -> None:
         outcome = self.counters.increment(sector_index)
         if outcome.minor_overflowed:
             self._on_minor_overflow(outcome)
@@ -275,6 +300,13 @@ class MetadataEngine(PartitionEngine):
 
     def mac_read(self, sector_index: int) -> None:
         """Fetch the sector's MAC for conventional verification."""
+        if self._prof is None:
+            self._mac_read(sector_index)
+        else:
+            with self._prof.span("engine.mac_read"):
+                self._mac_read(sector_index)
+
+    def _mac_read(self, sector_index: int) -> None:
         line, mask = self.layout.mac_location(sector_index)
         result = self.mac_cache.access(line, mask, write=False)
         if result.miss_mask:
@@ -288,6 +320,13 @@ class MetadataEngine(PartitionEngine):
 
     def mac_write(self, sector_index: int) -> None:
         """Install a freshly computed MAC (read-modify-write on miss)."""
+        if self._prof is None:
+            self._mac_write(sector_index)
+        else:
+            with self._prof.span("engine.mac_write"):
+                self._mac_write(sector_index)
+
+    def _mac_write(self, sector_index: int) -> None:
         line, mask = self.layout.mac_location(sector_index)
         result = self.mac_cache.access(line, mask, write=True)
         if result.miss_mask:

@@ -106,8 +106,10 @@ class PlutusEngine(MetadataEngine):
             traversal.update_leaf(leaf)
 
     # MetadataEngine's counter paths call self.bmt directly; override the
-    # drain hook and read path to honor the gate.
-    def counter_read(self, sector_index: int) -> None:
+    # drain hook and read path to honor the gate. The public
+    # counter_read/counter_write stay MetadataEngine's span-instrumented
+    # template methods.
+    def _counter_read(self, sector_index: int) -> None:
         """Original-layer counter fetch, honoring the tree gate."""
         line, mask = self.layout.counter_location(sector_index)
         result = self.counter_cache.access(line, mask, write=False)
@@ -121,7 +123,7 @@ class PlutusEngine(MetadataEngine):
             self._verify_tree(self.bmt, self.layout.bmt_leaf_index(sector_index))
         self._drain_counter_evictions(result.evictions)
 
-    def counter_write(self, sector_index: int) -> None:
+    def _counter_write(self, sector_index: int) -> None:
         """Original-layer counter bump, honoring the tree gate."""
         outcome = self.counters.increment(sector_index)
         if outcome.minor_overflowed:

@@ -37,7 +37,7 @@ def profile(tmp_path_factory):
 class TestProfileArtifacts:
     def test_metrics_json_is_valid_and_complete(self, profile):
         payload = json.loads(open(profile.metrics_path).read())
-        assert payload["schema"] == "repro.obs/1"
+        assert payload["schema"] == "repro.obs/2"
         metrics = payload["metrics"]
 
         # Per-interval traffic series over trace position.

@@ -73,6 +73,44 @@ class TestHistogram:
         assert json.loads(json.dumps(h.as_dict()))["count"] == 1
 
 
+class TestHistogramPercentile:
+    def test_empty_histogram_has_no_percentiles(self):
+        h = Histogram("depth", bounds=(0, 1, 2))
+        assert h.percentile(0.5) is None
+
+    def test_single_point_every_quantile_is_that_point(self):
+        h = Histogram("depth", bounds=(0, 1, 2, 4))
+        h.record(2)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert h.percentile(q) == 2
+
+    def test_endpoints_are_exact_min_and_max(self):
+        h = Histogram("depth", bounds=(0, 1, 2, 4))
+        for v in (1, 2, 3, 3, 4):
+            h.record(v)
+        assert h.percentile(0.0) == 1
+        assert h.percentile(1.0) == 4
+
+    def test_median_lands_on_bucket_upper_edge(self):
+        h = Histogram("depth", bounds=(0, 1, 2, 4))
+        for v in (0, 1, 2, 3, 4):
+            h.record(v)
+        # Rank 2.5 falls in the bucket whose upper edge is 2.
+        assert h.percentile(0.5) == 2
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram("depth", bounds=(0, 1))
+        h.record(99)
+        h.record(150)
+        assert h.percentile(0.9) == 150
+
+    def test_out_of_range_q_rejected(self):
+        h = Histogram("depth", bounds=(0, 1))
+        for q in (-0.01, 1.01):
+            with pytest.raises(ValueError):
+                h.percentile(q)
+
+
 class TestSampler:
     def test_records_in_order(self):
         s = Sampler("t", window=8)
@@ -109,6 +147,53 @@ class TestSampler:
             Sampler("t", window=2)
         with pytest.raises(ValueError):
             Sampler("t", agg="median")
+
+
+class TestSamplerCompactionEdges:
+    def test_empty_sampler_has_no_compactions(self):
+        s = Sampler("t", window=8)
+        assert s.compactions == 0
+        assert s.values == []
+        assert s.as_dict()["compactions"] == 0
+
+    def test_single_point_never_compacts(self):
+        s = Sampler("t", window=8)
+        s.record(0, 1.0)
+        assert s.compactions == 0
+        assert s.values == [1.0]
+
+    def test_exactly_full_window_does_not_compact(self):
+        s = Sampler("t", window=8)
+        for i in range(8):
+            s.record(i, float(i))
+        assert s.compactions == 0
+        assert len(s) == 8
+
+    def test_one_past_full_triggers_exactly_one_compaction(self):
+        s = Sampler("t", window=8, agg="sum")
+        for i in range(9):
+            s.record(i, 1.0)
+        assert s.compactions == 1
+        # 9 points pair-merge to 4 merged + 1 odd trailing point.
+        assert len(s) == 5
+        assert sum(s.values) == pytest.approx(9.0)
+
+    def test_compaction_count_grows_with_overflow(self):
+        s = Sampler("t", window=8)
+        for i in range(100):
+            s.record(i, 1.0)
+        assert s.compactions >= 2
+        assert s.as_dict()["compactions"] == s.compactions
+
+    def test_merge_snapshot_accumulates_compactions(self):
+        a = Sampler("t", window=8, agg="sum")
+        b = Sampler("t", window=8, agg="sum")
+        for i in range(20):
+            a.record(i, 1.0)
+            b.record(i, 1.0)
+        before = a.compactions
+        a.merge_snapshot(b.as_dict())
+        assert a.compactions >= before + b.compactions
 
 
 class TestRegistry:

@@ -127,7 +127,7 @@ class TestExport:
             extra={"note": "x"},
         )
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro.obs/1"
+        assert payload["schema"] == "repro.obs/2"
         assert payload["metrics"]["hits"]["value"] == 7
         assert payload["extra"] == {"note": "x"}
         assert payload["config"]["enabled"] is True

@@ -104,6 +104,8 @@ class TestRecords:
         journal = RunJournal.open(tmp_path, "run1", campaign)
         journal.record_end("partial", reason="wall-clock budget exhausted")
         end = journal.records()[-1]
+        ts = end.pop("ts")
+        assert isinstance(ts, float)
         assert end == {
             "type": "end",
             "status": "partial",
