@@ -135,8 +135,26 @@ def measure_parallel_speedup(workers: int = 4) -> dict:
     }
 
 
-def compare_trajectory(entry: dict, trajectory: dict,
-                       tolerance: float) -> dict:
+def _entry_path(entry: dict) -> str:
+    """Replay path an entry measured; pre-columnar entries are object."""
+    return entry.get("path", "object")
+
+
+def _latest_matching(entry: dict, entries: list, path: str):
+    """Latest trajectory entry comparable to *entry* on replay *path*."""
+    for candidate in reversed(entries):
+        if (
+            candidate.get("benchmark") == entry.get("benchmark")
+            and candidate.get("length") == entry.get("length")
+            and candidate.get("seed") == entry.get("seed")
+            and _entry_path(candidate) == path
+        ):
+            return candidate
+    return None
+
+
+def compare_trajectory(entry: dict, trajectory: dict, tolerance: float,
+                       min_improvement: float = 3.0) -> dict:
     """Compare a fresh ``bench`` entry against the committed trajectory.
 
     Throughputs are normalized by each entry's own calibration number
@@ -144,66 +162,123 @@ def compare_trajectory(entry: dict, trajectory: dict,
     CPU), so a slow runner is compared against what the recording
     machine would have measured at its speed. A mode whose normalized
     throughput drops below ``reference / tolerance`` is a regression.
+
+    Entries record which replay ``path`` they measured (absent means
+    the pre-columnar object path). Regressions always compare same
+    path against same path; when the fresh entry measured the columnar
+    path *and* the trajectory holds a comparable object-path entry, a
+    second **improvement gate** arms: every engine whose row is marked
+    ``batched`` (a native columnar fast path) must show at least
+    ``min_improvement`` x the object entry's normalized serial
+    throughput — the refactor's payoff, demonstrated, not assumed.
     """
     entries = trajectory.get("entries") or []
-    reference = None
-    for candidate in reversed(entries):
-        if (
-            candidate.get("benchmark") == entry.get("benchmark")
-            and candidate.get("length") == entry.get("length")
-            and candidate.get("seed") == entry.get("seed")
-        ):
-            reference = candidate
-            break
-    if reference is None:
-        return {
-            "tolerance": tolerance,
-            "reference": None,
-            "rows": [],
-            "regressions": [],
-            "note": "no comparable trajectory entry "
-                    "(benchmark/length/seed mismatch); nothing to gate",
-        }
-    ref_cal = float(reference["calibration_seconds"])
+    entry_path = _entry_path(entry)
+    reference = _latest_matching(entry, entries, entry_path)
     cur_cal = float(entry["calibration_seconds"])
-    rows = []
-    for engine, current in sorted(entry.get("engines", {}).items()):
-        base = reference.get("engines", {}).get(engine)
-        for mode in ("serial_eps", "sharded_eps"):
-            cur_eps = current.get(mode)
-            if cur_eps is None:
-                continue
-            if base is None or base.get(mode) is None:
-                rows.append(
-                    {"name": f"{engine}:{mode}", "status": "new",
-                     "eps": cur_eps}
-                )
-                continue
-            cur_norm = cur_eps * cur_cal
-            base_norm = base[mode] * ref_cal
-            ratio = cur_norm / base_norm if base_norm else float("inf")
-            status = "regression" if ratio < 1.0 / tolerance else "ok"
-            rows.append(
-                {
-                    "name": f"{engine}:{mode}",
-                    "status": status,
-                    "eps": cur_eps,
-                    "reference_eps": base[mode],
-                    "normalized_ratio": ratio,
-                }
-            )
-    rows.sort(key=lambda r: r.get("normalized_ratio", float("inf")))
-    return {
+    report: dict = {
         "tolerance": tolerance,
-        "reference": {
+        "path": entry_path,
+        "calibration_seconds": cur_cal,
+        "reference": None,
+        "rows": [],
+        "regressions": [],
+    }
+    if reference is None:
+        report["note"] = (
+            f"no comparable {entry_path}-path trajectory entry "
+            f"(benchmark/length/seed mismatch); nothing to gate"
+        )
+    else:
+        ref_cal = float(reference["calibration_seconds"])
+        rows = []
+        for engine, current in sorted(entry.get("engines", {}).items()):
+            base = reference.get("engines", {}).get(engine)
+            for mode in ("serial_eps", "sharded_eps"):
+                cur_eps = current.get(mode)
+                if cur_eps is None:
+                    continue
+                if base is None or base.get(mode) is None:
+                    rows.append(
+                        {"name": f"{engine}:{mode}", "status": "new",
+                         "eps": cur_eps}
+                    )
+                    continue
+                cur_norm = cur_eps * cur_cal
+                base_norm = base[mode] * ref_cal
+                ratio = cur_norm / base_norm if base_norm else float("inf")
+                status = "regression" if ratio < 1.0 / tolerance else "ok"
+                rows.append(
+                    {
+                        "name": f"{engine}:{mode}",
+                        "status": status,
+                        "eps": cur_eps,
+                        "reference_eps": base[mode],
+                        "normalized_ratio": ratio,
+                    }
+                )
+        rows.sort(key=lambda r: r.get("normalized_ratio", float("inf")))
+        report["reference"] = {
             "recorded": reference.get("recorded"),
             "calibration_seconds": ref_cal,
-        },
-        "calibration_seconds": cur_cal,
-        "rows": rows,
-        "regressions": [
+        }
+        report["rows"] = rows
+        report["regressions"] = [
             r["name"] for r in rows if r["status"] == "regression"
-        ],
+        ]
+
+    if entry_path != "object":
+        object_ref = _latest_matching(entry, entries, "object")
+        if object_ref is None:
+            report["improvement_note"] = (
+                "no comparable object-path entry; improvement gate not armed"
+            )
+        else:
+            report["improvement"] = _gate_improvement(
+                entry, object_ref, cur_cal, min_improvement
+            )
+    return report
+
+
+def _gate_improvement(entry: dict, object_ref: dict, cur_cal: float,
+                      min_improvement: float) -> dict:
+    """Demand the columnar speedup from every batch-native engine row."""
+    ref_cal = float(object_ref["calibration_seconds"])
+    rows = []
+    failures = []
+    for engine, current in sorted(entry.get("engines", {}).items()):
+        if not current.get("batched"):
+            continue
+        cur_eps = current.get("serial_eps")
+        base = object_ref.get("engines", {}).get(engine, {})
+        base_eps = base.get("serial_eps")
+        if cur_eps is None or not base_eps:
+            continue
+        ratio = (cur_eps * cur_cal) / (base_eps * ref_cal)
+        ok = ratio >= min_improvement
+        rows.append(
+            {
+                "name": f"{engine}:serial_eps",
+                "status": "improved" if ok else "below-min-improvement",
+                "eps": cur_eps,
+                "object_reference_eps": base_eps,
+                "normalized_ratio": ratio,
+            }
+        )
+        if not ok:
+            failures.append(f"{engine}:serial_eps")
+    if not rows:
+        failures.append(
+            "no batched engine rows to demonstrate the columnar speedup"
+        )
+    return {
+        "min_improvement": min_improvement,
+        "object_reference": {
+            "recorded": object_ref.get("recorded"),
+            "calibration_seconds": ref_cal,
+        },
+        "rows": rows,
+        "failures": failures,
     }
 
 
@@ -245,6 +320,31 @@ def compare(current: dict, baseline: dict, calibration: float,
     }
 
 
+def _load_json_or_usage(path: Path, what: str) -> dict:
+    """Read a JSON dict for the trajectory gate, or exit 2 with advice.
+
+    A missing or mangled file is a usage problem (wrong path, bench
+    never ran), not a regression — report it plainly instead of letting
+    the traceback land in the CI log.
+    """
+    def usage_exit(message: str) -> SystemExit:
+        print(message, file=sys.stderr)
+        return SystemExit(2)
+
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise usage_exit(
+            f"error: {what} {path} does not exist; generate it with "
+            f"`repro.harness bench --entry-out` or check the path"
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        raise usage_exit(f"error: {what} {path} is unreadable: {exc}")
+    if not isinstance(payload, dict):
+        raise usage_exit(f"error: {what} {path} does not hold a JSON object")
+    return payload
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -284,12 +384,32 @@ def main(argv=None) -> int:
         help="committed trajectory file for --trajectory-entry "
              "(default benchmarks/BENCH_0001.json)",
     )
+    parser.add_argument(
+        "--min-improvement", type=float, default=3.0, metavar="RATIO",
+        help="required normalized serial speedup of batched engines in a "
+             "columnar --trajectory-entry over the latest object-path "
+             "entry (default 3.0)",
+    )
     args = parser.parse_args(argv)
 
     if args.trajectory_entry:
-        entry = json.loads(Path(args.trajectory_entry).read_text())
-        trajectory = json.loads(Path(args.trajectory).read_text())
-        report = compare_trajectory(entry, trajectory, args.tolerance)
+        entry = _load_json_or_usage(
+            Path(args.trajectory_entry), "fresh bench entry"
+        )
+        trajectory = _load_json_or_usage(
+            Path(args.trajectory), "trajectory file"
+        )
+        if not trajectory.get("entries"):
+            print(
+                f"error: trajectory file {args.trajectory} has no entries; "
+                f"run `repro.harness bench` to record one, or point "
+                f"--trajectory at the committed benchmarks/BENCH_0001.json",
+                file=sys.stderr,
+            )
+            return 2
+        report = compare_trajectory(
+            entry, trajectory, args.tolerance, args.min_improvement
+        )
         Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
         if report.get("note"):
             print(report["note"])
@@ -297,10 +417,27 @@ def main(argv=None) -> int:
             ratio = row.get("normalized_ratio")
             detail = f" ratio={ratio:.2f}" if ratio is not None else ""
             print(f"  {row['status']:>10}  {row['name']}{detail}")
+        improvement = report.get("improvement")
+        if report.get("improvement_note"):
+            print(report["improvement_note"])
+        if improvement:
+            for row in improvement["rows"]:
+                print(
+                    f"  {row['status']:>22}  {row['name']} "
+                    f"ratio={row['normalized_ratio']:.2f} "
+                    f"(need >= {improvement['min_improvement']:.2f})"
+                )
+        failed = False
         if report["regressions"]:
             print(f"REGRESSIONS: {report['regressions']}", file=sys.stderr)
-            return 1
-        return 0
+            failed = True
+        if improvement and improvement["failures"]:
+            print(
+                f"IMPROVEMENT GATE FAILED: {improvement['failures']}",
+                file=sys.stderr,
+            )
+            failed = True
+        return 1 if failed else 0
 
     calibration = calibrate()
     print(f"calibration: {calibration * 1e3:.1f} ms")

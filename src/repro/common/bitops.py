@@ -7,7 +7,8 @@ the architectural modules readable and uniformly tested.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+import struct
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.common.errors import AlignmentError
 
@@ -110,6 +111,13 @@ def popcount(value: int) -> int:
     return bin(value).count("1")
 
 
+#: Cached little-endian Struct objects for the power-of-two widths the
+#: engines actually use; one C-level unpack call replaces a Python loop
+#: of slices on the replay hot path.
+_LE_STRUCT_CODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
+_SPLIT_STRUCTS: Dict[Tuple[int, int], struct.Struct] = {}
+
+
 def split_values(data: bytes, value_bytes: int) -> List[int]:
     """Split *data* into little-endian integers of *value_bytes* each.
 
@@ -120,6 +128,14 @@ def split_values(data: bytes, value_bytes: int) -> List[int]:
         raise ValueError(
             f"data length {len(data)} is not a multiple of {value_bytes}"
         )
+    code = _LE_STRUCT_CODES.get(value_bytes)
+    if code is not None:
+        key = (len(data), value_bytes)
+        unpacker = _SPLIT_STRUCTS.get(key)
+        if unpacker is None:
+            unpacker = struct.Struct(f"<{len(data) // value_bytes}{code}")
+            _SPLIT_STRUCTS[key] = unpacker
+        return list(unpacker.unpack(data))
     return [
         bytes_to_int_le(data[i : i + value_bytes])
         for i in range(0, len(data), value_bytes)

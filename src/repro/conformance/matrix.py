@@ -72,6 +72,11 @@ class MatrixRun:
     parallel: Optional[Tuple[str, SimulationResult]] = None
     #: (engine key, reloaded-log replay result) when the round-trip ran.
     roundtrip: Optional[Tuple[str, SimulationResult]] = None
+    #: Per-engine results of a forced scalar object-path replay, filled
+    #: when the columnar identity cross-check ran. ``results`` holds the
+    #: default (columnar where eligible) path, so the oracle can demand
+    #: byte-identity between the two replay implementations.
+    object_path: Dict[str, SimulationResult] = field(default_factory=dict)
     claims_apply: bool = False
 
 
@@ -97,6 +102,7 @@ def run_matrix(
     claims_apply: bool = False,
     check_parallel: bool = True,
     check_roundtrip: bool = True,
+    check_columnar: bool = True,
     functional_modes: Sequence[str] = FUNCTIONAL_MODES,
     functional_events: Optional[int] = DEFAULT_FUNCTIONAL_EVENTS,
     fold_sectors: int = DEFAULT_FOLD_SECTORS,
@@ -114,6 +120,17 @@ def run_matrix(
     run = MatrixRun(
         log=log, config=config, results=results, claims_apply=claims_apply
     )
+
+    if check_columnar:
+        # Replay the whole roster a second time with the vectorized
+        # path disabled; the columnar-object-identity invariant compares
+        # the two result sets engine by engine.
+        run.object_path = {
+            key: replay_events(
+                log, factory, config, workers=1, path="object"
+            )
+            for key, factory in factories.items()
+        }
 
     cross_key = CROSS_CHECK_ENGINE if CROSS_CHECK_ENGINE in factories else (
         next(iter(factories))

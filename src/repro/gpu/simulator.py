@@ -34,10 +34,20 @@ from concurrent.futures import CancelledError, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, fields, replace
-from enum import Enum
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.common.errors import SimulationError
+from repro.gpu.columnar import (
+    FILL_CODE,
+    WRITEBACK_CODE,
+    ColumnStore,
+    EventColumns,
+    EventKind,
+    EventView,
+    MemoryEvent,
+)
 from repro.gpu.config import GpuConfig
 from repro.mem.cache import CacheConfig, SectoredCache
 from repro.mem.traffic import Stream, TrafficCounter, TrafficReport
@@ -47,32 +57,20 @@ from repro.obs.session import active as _obs_active
 from repro.secure.engine import EngineStats, PartitionEngine
 from repro.workloads.trace import Trace
 
+__all__ = [
+    "EventKind", "MemoryEvent", "MemoryEventLog", "L2Stats",
+    "SimulationResult", "simulate_l2", "replay_events", "replay_matrix",
+    "simulate", "split_event_log", "resolve_workers", "EngineFactory",
+    "REPLAY_PATHS",
+]
+
 #: Factory signature every engine exposes for the simulator.
 EngineFactory = Callable[[int, int, TrafficCounter], PartitionEngine]
 
-
-class EventKind(Enum):
-    FILL = "fill"
-    WRITEBACK = "writeback"
-
-
-class MemoryEvent:
-    """One sector-granular DRAM-side event at a partition controller."""
-
-    __slots__ = ("kind", "partition", "sector_index", "values")
-
-    def __init__(self, kind: EventKind, partition: int, sector_index: int,
-                 values: Optional[bytes]) -> None:
-        self.kind = kind
-        self.partition = partition
-        self.sector_index = sector_index
-        self.values = values
-
-    def __repr__(self) -> str:
-        return (
-            f"MemoryEvent({self.kind.value} p{self.partition} "
-            f"s{self.sector_index})"
-        )
+#: Replay execution strategies: ``auto`` picks the columnar batched
+#: path unless per-event instrumentation forces the scalar loop;
+#: ``object``/``columnar`` force one side (for differential checks).
+REPLAY_PATHS = ("auto", "columnar", "object")
 
 
 @dataclass
@@ -91,21 +89,83 @@ class L2Stats:
 
 @dataclass
 class MemoryEventLog:
-    """The DRAM-side event stream distilled from one L2 pass."""
+    """The DRAM-side event stream distilled from one L2 pass.
+
+    Storage is columnar (:mod:`repro.gpu.columnar`): ``events`` accepts
+    a plain ``List[MemoryEvent]`` at construction for compatibility but
+    always *reads* as a lazy :class:`~repro.gpu.columnar.EventView` over
+    the structure-of-arrays store. ``fill_sectors``/``writeback_sectors``
+    stay caller-maintained (the L2 pass and the loaders count as they
+    append), exactly as with the old list field.
+    """
 
     trace_name: str
     memory_intensity: float
     instructions: int
     #: Pre-window write-history depth recorded from the trace profile.
     counter_warmup_passes: int = 3
-    events: List[MemoryEvent] = field(default_factory=list)
+    events: Union[EventView, List[MemoryEvent]] = field(
+        default_factory=list
+    )
     fill_sectors: int = 0
     writeback_sectors: int = 0
     l2_stats: L2Stats = field(default_factory=L2Stats)
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, EventView):
+            view = EventView()
+            view.extend(self.events)
+            self.events = view
+
     @property
     def data_bytes(self) -> int:
         return 32 * (self.fill_sectors + self.writeback_sectors)
+
+    # -- columnar access ---------------------------------------------------
+
+    def append_fill(self, partition: int, sector: int,
+                    values: Optional[bytes]) -> None:
+        """Append one fill event and account it (raw-column fast path)."""
+        self.events.store.append(FILL_CODE, partition, sector, values)
+        self.fill_sectors += 1
+
+    def append_writeback(self, partition: int, sector: int,
+                         values: Optional[bytes]) -> None:
+        """Append one writeback event and account it."""
+        self.events.store.append(WRITEBACK_CODE, partition, sector, values)
+        self.writeback_sectors += 1
+
+    def to_columns(self) -> EventColumns:
+        """Numpy snapshot of the event stream (cached by the store)."""
+        return self.events.store.to_columns()
+
+    @classmethod
+    def from_columns(
+        cls,
+        cols: EventColumns,
+        *,
+        trace_name: str,
+        memory_intensity: float,
+        instructions: int,
+        counter_warmup_passes: int = 3,
+        l2_stats: "L2Stats | None" = None,
+    ) -> "MemoryEventLog":
+        """Build a log directly from a columnar snapshot.
+
+        Fill/writeback counts are derived from the ``kind`` column, so a
+        snapshot round-trip reproduces the accounting exactly.
+        """
+        fills = cols.fill_count
+        return cls(
+            trace_name=trace_name,
+            memory_intensity=memory_intensity,
+            instructions=instructions,
+            counter_warmup_passes=counter_warmup_passes,
+            events=EventView(ColumnStore.from_columns(cols)),
+            fill_sectors=fills,
+            writeback_sectors=cols.n_events - fills,
+            l2_stats=l2_stats if l2_stats is not None else L2Stats(),
+        )
 
 
 @dataclass
@@ -165,7 +225,6 @@ def _simulate_l2(trace: Trace, config: GpuConfig) -> MemoryEventLog:
         instructions=trace.instructions,
         counter_warmup_passes=trace.counter_warmup_passes,
     )
-    events = log.events
 
     def emit_writebacks(partition: int, line_addr: int, dirty_mask: int) -> None:
         for slot in range(4):
@@ -173,10 +232,7 @@ def _simulate_l2(trace: Trace, config: GpuConfig) -> MemoryEventLog:
                 continue
             values = dirty_values.pop((partition, line_addr, slot), None)
             sector = amap.local_sector_index(line_addr + slot * 32)
-            events.append(
-                MemoryEvent(EventKind.WRITEBACK, partition, sector, values)
-            )
-            log.writeback_sectors += 1
+            log.append_writeback(partition, sector, values)
 
     for access in trace:
         partition = amap.partition_of(access.line_addr)
@@ -198,12 +254,7 @@ def _simulate_l2(trace: Trace, config: GpuConfig) -> MemoryEventLog:
                 if not (result.miss_mask >> slot) & 1:
                     continue
                 sector = amap.local_sector_index(access.line_addr + slot * 32)
-                events.append(
-                    MemoryEvent(
-                        EventKind.FILL, partition, sector, access.value_for(slot)
-                    )
-                )
-                log.fill_sectors += 1
+                log.append_fill(partition, sector, access.value_for(slot))
 
     # Kernel end: drain dirty data.
     for partition, bank in enumerate(l2_banks):
@@ -249,21 +300,18 @@ def split_event_log(log: MemoryEventLog) -> Dict[int, MemoryEventLog]:
     describe the whole cache pass, not one partition's share.
     """
     shards: Dict[int, MemoryEventLog] = {}
-    for event in log.events:
-        shard = shards.get(event.partition)
-        if shard is None:
-            shard = MemoryEventLog(
-                trace_name=log.trace_name,
-                memory_intensity=log.memory_intensity,
-                instructions=log.instructions,
-                counter_warmup_passes=log.counter_warmup_passes,
-            )
-            shards[event.partition] = shard
-        shard.events.append(event)
-        if event.kind is EventKind.FILL:
-            shard.fill_sectors += 1
-        else:
-            shard.writeback_sectors += 1
+    cols = log.to_columns()
+    if not cols.n_events:
+        return shards
+    for partition in np.unique(cols.partition).tolist():
+        rows = np.flatnonzero(cols.partition == partition)
+        shards[int(partition)] = MemoryEventLog.from_columns(
+            cols.take(rows),
+            trace_name=log.trace_name,
+            memory_intensity=log.memory_intensity,
+            instructions=log.instructions,
+            counter_warmup_passes=log.counter_warmup_passes,
+        )
     return shards
 
 
@@ -286,6 +334,7 @@ def _replay_shard(
     config: GpuConfig,
     counter_warmup_passes: int,
     obs_config: Optional[ObsConfig],
+    path: str = "auto",
 ) -> _ShardOutcome:
     """Worker-process entry: replay one partition's sub-log serially."""
     session = ObsSession(obs_config) if obs_config is not None else None
@@ -293,7 +342,7 @@ def _replay_shard(
         with _obs_activate(session):
             result = replay_events(
                 shard, engine_factory, config, counter_warmup_passes,
-                workers=1,
+                workers=1, path=path,
             )
         metrics = (
             session.registry.as_dict()
@@ -301,7 +350,8 @@ def _replay_shard(
         )
     else:
         result = replay_events(
-            shard, engine_factory, config, counter_warmup_passes, workers=1
+            shard, engine_factory, config, counter_warmup_passes, workers=1,
+            path=path,
         )
         metrics = None
     traffic_state = {
@@ -327,6 +377,7 @@ def _replay_events_parallel(
     counter_warmup_passes: int,
     requested_workers: int,
     shard_timeout: Optional[float] = None,
+    path: str = "auto",
 ) -> Optional[SimulationResult]:
     """Shard-per-partition replay across a process pool.
 
@@ -397,6 +448,7 @@ def _replay_events_parallel(
                         config,
                         counter_warmup_passes,
                         child_obs,
+                        path,
                     ),
                 )
                 for partition in ordered
@@ -442,6 +494,7 @@ def _replay_events_parallel(
                         config,
                         counter_warmup_passes,
                         child_obs,
+                        path,
                     )
                 )
 
@@ -487,6 +540,75 @@ def _replay_events_parallel(
     )
 
 
+def _columnar_serial_replay(
+    log: MemoryEventLog,
+    engine_for: Callable[[int], PartitionEngine],
+    engines: Dict[int, PartitionEngine],
+    traffic: TrafficCounter,
+    counter_warmup_passes: int,
+    obs: "ObsSession",
+) -> str:
+    """Batched serial replay over the columnar snapshot.
+
+    Events are regrouped partition-major (in-partition order preserved),
+    then dispatched to the engines as consecutive same-kind runs via the
+    batch hooks — one ``traffic.record`` per run instead of one per
+    event. The result is byte-identical to the scalar loop: partitions
+    share no state, the traffic counter and every ``EngineStats`` field
+    are commutative integer sums, and the default batch hooks replay the
+    scalar calls in order for engines without native batching.
+
+    Returns the engine design name (``"no-traffic"`` for an empty log).
+    """
+    cols = log.to_columns()
+    kind = cols.kind
+    partition = cols.partition
+    blocks: List[np.ndarray] = []
+    if cols.n_events:
+        order = np.argsort(partition, kind="stable")
+        cuts = np.flatnonzero(np.diff(partition[order])) + 1
+        blocks = np.split(order, cuts)
+
+    with obs.phase("replay_warmup", trace=log.trace_name,
+                   passes=counter_warmup_passes):
+        if counter_warmup_passes:
+            for rows in blocks:
+                writebacks = rows[kind[rows] == WRITEBACK_CODE]
+                if not writebacks.size:
+                    continue
+                engine = engine_for(int(partition[writebacks[0]]))
+                sectors = cols.sector[writebacks].tolist()
+                for _ in range(counter_warmup_passes):
+                    engine.warm_counters_batch(sectors)
+
+    with obs.phase("replay_events", trace=log.trace_name):
+        for rows in blocks:
+            engine = engine_for(int(partition[rows[0]]))
+            kinds = kind[rows]
+            cuts = np.flatnonzero(np.diff(kinds)) + 1
+            bounds = [0, *cuts.tolist(), rows.size]
+            for start, end in zip(bounds, bounds[1:]):
+                run = rows[start:end]
+                count = end - start
+                sectors = cols.sector[run].tolist()
+                values = cols.values_for(run)
+                if kinds[start] == FILL_CODE:
+                    traffic.record(
+                        Stream.DATA_READ, 32 * count, transactions=count
+                    )
+                    engine.on_fill_batch(sectors, values)
+                else:
+                    traffic.record(
+                        Stream.DATA_WRITE, 32 * count, transactions=count
+                    )
+                    engine.on_writeback_batch(sectors, values)
+        engine_name = "no-traffic"
+        for engine in engines.values():
+            engine.finalize()
+            engine_name = engine.name
+    return engine_name
+
+
 def replay_events(
     log: MemoryEventLog,
     engine_factory: EngineFactory,
@@ -494,6 +616,7 @@ def replay_events(
     counter_warmup_passes: "int | None" = None,
     workers: "int | None" = 1,
     shard_timeout: "float | None" = None,
+    path: str = "auto",
 ) -> SimulationResult:
     """Run a logged event stream through one security-engine design.
 
@@ -515,6 +638,13 @@ def replay_events(
     each shard's wall-clock seconds in the parallel path; shards that
     exceed it (or whose worker dies) are retried serially with a
     ``RuntimeWarning`` rather than failing the run.
+
+    ``path`` selects the serial inner loop: ``"auto"`` (the default)
+    runs the columnar batched pass unless per-event instrumentation
+    (interval sampling, memory-event tracing, span detail) requires the
+    scalar loop; ``"columnar"``/``"object"`` force one side, which is
+    how the conformance invariant cross-checks them. Both produce
+    byte-identical :class:`SimulationResult`\\ s.
     """
     if counter_warmup_passes is None:
         counter_warmup_passes = log.counter_warmup_passes
@@ -522,11 +652,15 @@ def replay_events(
         raise ValueError("warmup passes cannot be negative")
     if shard_timeout is not None and shard_timeout <= 0:
         raise ValueError("shard timeout must be positive (or None)")
+    if path not in REPLAY_PATHS:
+        raise ValueError(
+            f"unknown replay path {path!r}; expected one of {REPLAY_PATHS}"
+        )
     n_workers = resolve_workers(workers)
     if n_workers > 1:
         parallel = _replay_events_parallel(
             log, engine_factory, config, counter_warmup_passes, n_workers,
-            shard_timeout,
+            shard_timeout, path,
         )
         if parallel is not None:
             return parallel
@@ -544,6 +678,21 @@ def replay_events(
             engine = engine_factory(partition, sectors_per_partition, traffic)
             engines[partition] = engine
         return engine
+
+    # Per-event instrumentation (interval windows, per-event trace
+    # emission, per-event spans) needs the scalar loop; everything else
+    # takes the batched columnar pass.
+    use_columnar = path != "object" and not (
+        interval or trace_mem or obs.config.span_detail_active
+    )
+    if use_columnar:
+        start = time.perf_counter() if obs.enabled else 0.0
+        engine_name = _columnar_serial_replay(
+            log, engine_for, engines, traffic, counter_warmup_passes, obs
+        )
+        return _finish_serial_replay(
+            log, obs, traffic, engines, engine_name, start
+        )
 
     snapshot = None
     total: Optional[TrafficCounter] = None
@@ -657,10 +806,24 @@ def replay_events(
             snapshot(position)
             traffic = total
 
+    return _finish_serial_replay(
+        log, obs, traffic, engines, engine_name, start
+    )
+
+
+def _finish_serial_replay(
+    log: MemoryEventLog,
+    obs: "ObsSession",
+    traffic: TrafficCounter,
+    engines: Dict[int, PartitionEngine],
+    engine_name: str,
+    start: float,
+) -> SimulationResult:
+    """Fold engine stats, publish gauges, and package the result."""
     merged_stats = _merge_stats([e.stats for e in engines.values()])
     if obs.enabled:
         elapsed = time.perf_counter() - start
-        if metrics_on:
+        if obs.config.metrics_active:
             registry = obs.registry
             registry.gauge("replay.events").set(len(log.events))
             if elapsed > 0:
@@ -702,6 +865,7 @@ def replay_matrix(
     counter_warmup_passes: "int | None" = None,
     workers: "int | None" = 1,
     shard_timeout: "float | None" = None,
+    path: str = "auto",
 ) -> "Dict[str, SimulationResult]":
     """Replay one event log through a whole matrix of engine designs.
 
@@ -721,5 +885,6 @@ def replay_matrix(
             counter_warmup_passes=counter_warmup_passes,
             workers=workers,
             shard_timeout=shard_timeout,
+            path=path,
         )
     return results

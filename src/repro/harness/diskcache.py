@@ -54,7 +54,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Bump when trace generators or on-disk formats change shape: the
 #: version salts every key, so stale artifacts are simply never hit.
 #: v2: entries carry a SHA-256 checksum footer.
-SCHEMA_VERSION = "2"
+#: v3: event logs are stored in the columnar chunk format.
+SCHEMA_VERSION = "3"
 
 #: Footer line prefix sealing every cache entry.
 CHECKSUM_PREFIX = "#repro-checksum sha256="
@@ -210,4 +211,9 @@ class DiskCache:
         return log
 
     def store_event_log(self, key: str, log: "MemoryEventLog") -> None:
-        self._write_atomic(self._path("events", key), dumps_event_log(log))
+        # Columnar chunks load through the bulk column fast path, so a
+        # cache hit skips both simulate_l2 *and* per-event parsing.
+        self._write_atomic(
+            self._path("events", key),
+            dumps_event_log(log, format="columnar"),
+        )

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
+from functools import cached_property
 from typing import List, Tuple
 
 from repro.common.errors import ConfigurationError
@@ -49,7 +50,12 @@ class BmtGeometry:
                 f"hashes of {self.hash_bytes} B"
             )
 
-    @property
+    # Geometry is immutable, and the traversal consults these on every
+    # cache access, so the derived shapes are memoized (cached_property
+    # writes the instance __dict__ directly, which a frozen dataclass
+    # permits).
+
+    @cached_property
     def level_sizes(self) -> Tuple[int, ...]:
         """Node counts for levels 1..root (level 0 = leaves, excluded).
 
@@ -65,19 +71,29 @@ class BmtGeometry:
             sizes.append(1)  # degenerate single-leaf tree: root only
         return tuple(sizes)
 
-    @property
+    @cached_property
     def height(self) -> int:
         """Number of tree levels above the leaves (root included)."""
         return len(self.level_sizes)
 
-    @property
+    @cached_property
     def root_level(self) -> int:
         """1-based level index of the root."""
         return self.height
 
-    @property
+    @cached_property
     def total_nodes(self) -> int:
         return sum(self.level_sizes)
+
+    @cached_property
+    def _level_bases(self) -> Tuple[int, ...]:
+        """Byte offset of each level's first node (index 0 = level 1)."""
+        bases: List[int] = []
+        offset = 0
+        for size in self.level_sizes:
+            bases.append(offset)
+            offset += size * self.node_bytes
+        return tuple(bases)
 
     @property
     def storage_bytes(self) -> int:
@@ -96,10 +112,10 @@ class BmtGeometry:
 
     def level_base_bytes(self, level: int) -> int:
         """Byte offset of a level's first node in the flat BMT space."""
-        sizes = self.level_sizes
-        if not 1 <= level <= len(sizes):
+        bases = self._level_bases
+        if not 1 <= level <= len(bases):
             raise ValueError(f"level {level} out of range")
-        return sum(sizes[: level - 1]) * self.node_bytes
+        return bases[level - 1]
 
     def node_address(self, leaf_index: int, level: int) -> int:
         """Byte address of the ancestor node in the flat BMT space."""
@@ -110,7 +126,7 @@ class BmtGeometry:
 
     def locate(self, byte_offset: int) -> Tuple[int, int]:
         """Inverse of :meth:`node_address`: (level, node_index)."""
-        bases = [self.level_base_bytes(h) for h in range(1, self.root_level + 1)]
+        bases = self._level_bases
         level = bisect_right(bases, byte_offset)
         node = (byte_offset - bases[level - 1]) // self.node_bytes
         if node >= self.level_sizes[level - 1]:

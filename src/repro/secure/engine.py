@@ -103,6 +103,12 @@ class PartitionEngine:
             if self.obs.config.span_detail_active else None
         )
 
+    #: True when the engine overrides the batch hooks with a genuinely
+    #: vectorized implementation; the default hooks replay the scalar
+    #: calls in order, so stateful engines stay byte-identical without
+    #: opting in. The bench records this per design point.
+    batch_native = False
+
     def on_fill(self, sector_index: int, values: Optional[bytes]) -> None:
         """Handle a data-sector fetch from DRAM (L2 read miss)."""
         raise NotImplementedError
@@ -110,6 +116,32 @@ class PartitionEngine:
     def on_writeback(self, sector_index: int, values: Optional[bytes]) -> None:
         """Handle a dirty data-sector eviction to DRAM."""
         raise NotImplementedError
+
+    # -- batch hooks (columnar replay) -----------------------------------
+    #
+    # The columnar replay path delivers consecutive same-kind events of
+    # one partition as a single call. The contract is strict: a batch
+    # call must leave the engine in exactly the state the equivalent
+    # sequence of scalar calls would, so the defaults below are the
+    # scalar loop and only stateless (or order-free) designs override.
+
+    def on_fill_batch(self, sector_indices, values) -> None:
+        """Handle a run of fills (scalar fallback: in-order replay)."""
+        on_fill = self.on_fill
+        for sector_index, image in zip(sector_indices, values):
+            on_fill(sector_index, image)
+
+    def on_writeback_batch(self, sector_indices, values) -> None:
+        """Handle a run of writebacks (scalar fallback: in-order replay)."""
+        on_writeback = self.on_writeback
+        for sector_index, image in zip(sector_indices, values):
+            on_writeback(sector_index, image)
+
+    def warm_counters_batch(self, sector_indices) -> None:
+        """Warm counter state for a run of pre-window writes."""
+        warm_counters = self.warm_counters
+        for sector_index in sector_indices:
+            warm_counters(sector_index)
 
     def warm_counters(self, sector_index: int) -> None:
         """Advance counter state for one pre-window write (no traffic).
@@ -140,12 +172,25 @@ class NoSecurityEngine(PartitionEngine):
     """The insecure baseline: data moves, no metadata exists."""
 
     name = "no-security"
+    batch_native = True
 
     def on_fill(self, sector_index: int, values: Optional[bytes]) -> None:
         self.stats.fills += 1
 
     def on_writeback(self, sector_index: int, values: Optional[bytes]) -> None:
         self.stats.writebacks += 1
+
+    # Only the counts matter: batch runs are O(1), and the lazy value
+    # sequence is never materialized.
+
+    def on_fill_batch(self, sector_indices, values) -> None:
+        self.stats.fills += len(sector_indices)
+
+    def on_writeback_batch(self, sector_indices, values) -> None:
+        self.stats.writebacks += len(sector_indices)
+
+    def warm_counters_batch(self, sector_indices) -> None:
+        pass
 
 
 class MetadataEngine(PartitionEngine):

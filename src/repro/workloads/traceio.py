@@ -41,6 +41,8 @@ from typing import (
 
 from os import PathLike
 
+import numpy as np
+
 from repro.common.atomicio import atomic_write_text
 from repro.common.errors import TraceError, TraceFormatError
 from repro.workloads.trace import Trace, TraceAccess
@@ -51,6 +53,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (gpu -> workloads)
 
 _HEADER_PREFIX = "#repro-trace"
 _EVENTS_HEADER_PREFIX = "#repro-events"
+#: Columnar event-log sibling format: same header fields, events packed
+#: as hex-encoded column blobs in fixed-size chunks (see SCHEMAS.md).
+_COLUMNAR_HEADER_PREFIX = "#repro-events-columnar"
+_CHUNK_PREFIX = "#chunk"
+#: Events per serialized chunk in the columnar format.
+COLUMNAR_CHUNK_EVENTS = 4096
 #: Dumps end with ``#repro-end records=N``; loaders verify the count
 #: when the footer is present, so a truncated file cannot silently pass
 #: as a shorter-but-valid trace. Hand-written files may omit it.
@@ -231,23 +239,12 @@ def loads_trace(text: str, name: str = "imported") -> Trace:
     return load_trace(io.StringIO(text), name=name)
 
 
-def dump_event_log(log: "MemoryEventLog", fp: TextIO) -> None:
-    """Serialize a DRAM-side event log to a text stream.
-
-    One event per line — ``F``/``W`` (fill/writeback), partition,
-    partition-local sector index, then the 32-byte sector image as hex
-    (or ``-`` when the event carried no value). The header records the
-    trace profile and the L2 statistics of the pass that produced the
-    log, so a reload feeds the replay engine exactly what the live pass
-    did.
-    """
-    from repro.gpu.simulator import EventKind
-
+def _event_log_header(log: "MemoryEventLog", prefix: str) -> str:
     if any(ch.isspace() for ch in log.trace_name):
         raise TraceError("trace name cannot contain whitespace")
     stats = log.l2_stats
-    fp.write(
-        f"{_EVENTS_HEADER_PREFIX} name={log.trace_name} "
+    return (
+        f"{prefix} name={log.trace_name} "
         f"intensity={log.memory_intensity!r} "
         f"instructions={log.instructions} "
         f"warmup={log.counter_warmup_passes} "
@@ -255,6 +252,41 @@ def dump_event_log(log: "MemoryEventLog", fp: TextIO) -> None:
         f"l2_hits={stats.sector_hits} "
         f"l2_misses={stats.sector_misses}\n"
     )
+
+
+def dump_event_log(
+    log: "MemoryEventLog",
+    fp: TextIO,
+    format: str = "lines",
+    chunk_events: int = COLUMNAR_CHUNK_EVENTS,
+) -> None:
+    """Serialize a DRAM-side event log to a text stream.
+
+    ``format="lines"`` (the default, and the golden-corpus format) is
+    one event per line — ``F``/``W`` (fill/writeback), partition,
+    partition-local sector index, then the 32-byte sector image as hex
+    (or ``-`` when the event carried no value). The header records the
+    trace profile and the L2 statistics of the pass that produced the
+    log, so a reload feeds the replay engine exactly what the live pass
+    did.
+
+    ``format="columnar"`` writes the same stream as hex-encoded column
+    blobs in ``chunk_events``-sized chunks — the structure-of-arrays
+    serialization the disk cache uses (documented in SCHEMAS.md). Both
+    formats round-trip exactly and :func:`load_event_log` auto-detects
+    them by header.
+    """
+    if format == "columnar":
+        _dump_event_log_columnar(log, fp, chunk_events)
+        return
+    if format != "lines":
+        raise ValueError(
+            f"unknown event-log format {format!r}; "
+            "expected 'lines' or 'columnar'"
+        )
+    from repro.gpu.simulator import EventKind
+
+    fp.write(_event_log_header(log, _EVENTS_HEADER_PREFIX))
     for event in log.events:
         kind = "F" if event.kind is EventKind.FILL else "W"
         image = event.values.hex() if event.values is not None else "-"
@@ -262,52 +294,111 @@ def dump_event_log(log: "MemoryEventLog", fp: TextIO) -> None:
     fp.write(f"{_FOOTER_PREFIX} records={len(log.events)}\n")
 
 
-def dumps_event_log(log: "MemoryEventLog") -> str:
+def _dump_event_log_columnar(
+    log: "MemoryEventLog", fp: TextIO, chunk_events: int
+) -> None:
+    """Write the columnar chunk serialization (``#repro-events-columnar``).
+
+    Each chunk holds up to *chunk_events* events as five records —
+    ``K`` kind bytes, ``P`` int32-LE partitions, ``S`` int64-LE sectors,
+    ``L`` int32-LE value lengths (-1 = no value), ``D`` the packed value
+    payload — all hex-encoded; the shared ``#repro-end`` footer carries
+    the total event count.
+    """
+    if chunk_events < 1:
+        raise ValueError("chunk_events must be >= 1")
+    fp.write(_event_log_header(log, _COLUMNAR_HEADER_PREFIX))
+    cols = log.to_columns()
+    total = cols.n_events
+    for start in range(0, total, chunk_events):
+        rows = np.arange(start, min(start + chunk_events, total))
+        chunk = cols.take(rows)
+        lengths = np.where(
+            chunk.value_offset < 0, -1, chunk.value_length
+        ).astype("<i4")
+        fp.write(
+            f"{_CHUNK_PREFIX} events={chunk.n_events} "
+            f"payload={len(chunk.payload)}\n"
+        )
+        fp.write("K " + chunk.kind.astype("<u1").tobytes().hex() + "\n")
+        fp.write("P " + chunk.partition.astype("<i4").tobytes().hex() + "\n")
+        fp.write("S " + chunk.sector.astype("<i8").tobytes().hex() + "\n")
+        fp.write("L " + lengths.tobytes().hex() + "\n")
+        fp.write("D " + (chunk.payload.hex() if chunk.payload else "-") + "\n")
+    fp.write(f"{_FOOTER_PREFIX} records={total}\n")
+
+
+def dumps_event_log(log: "MemoryEventLog", format: str = "lines") -> str:
     """Serialize an event log to a string."""
     buffer = io.StringIO()
-    dump_event_log(log, buffer)
+    dump_event_log(log, buffer, format=format)
     return buffer.getvalue()
+
+
+def _apply_event_log_header(
+    log: "MemoryEventLog", header: Dict[str, str], name: str, line_no: int
+) -> None:
+    try:
+        log.trace_name = header.get("name", name)
+        log.memory_intensity = float(
+            header.get("intensity", log.memory_intensity)
+        )
+        log.instructions = int(
+            header.get("instructions", log.instructions)
+        )
+        log.counter_warmup_passes = int(
+            header.get("warmup", log.counter_warmup_passes)
+        )
+        log.l2_stats.accesses = int(header.get("l2_accesses", 0))
+        log.l2_stats.sector_hits = int(header.get("l2_hits", 0))
+        log.l2_stats.sector_misses = int(header.get("l2_misses", 0))
+    except ValueError as exc:
+        raise TraceFormatError(f"bad header: {exc}", line=line_no) from None
 
 
 def load_event_log(fp: TextIO, name: str = "imported") -> "MemoryEventLog":
     """Parse an event log from a text stream.
 
-    Structural failures — missing/misplaced header, malformed records,
-    a record count that contradicts the ``#repro-end`` footer — raise
+    Dispatches on the header line: ``#repro-events`` selects the
+    one-event-per-line format, ``#repro-events-columnar`` the chunked
+    columnar format; both return identical logs. Structural failures —
+    missing/misplaced header, malformed records, a record count that
+    contradicts the ``#repro-end`` footer — raise
     :class:`~repro.common.errors.TraceFormatError` with the offending
     line number.
     """
-    from repro.gpu.simulator import EventKind, MemoryEvent, MemoryEventLog
+    lines = fp.read().splitlines()
+    for raw in lines:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(_COLUMNAR_HEADER_PREFIX):
+            return _load_event_log_columnar(lines, name)
+        if line.startswith(_EVENTS_HEADER_PREFIX):
+            break
+        if line.startswith("#"):
+            continue
+        break  # record before any header: the line parser reports it
+    return _load_event_log_lines(lines, name)
+
+
+def _load_event_log_lines(
+    lines: List[str], name: str
+) -> "MemoryEventLog":
+    from repro.gpu.simulator import MemoryEventLog
 
     log = MemoryEventLog(
         trace_name=name, memory_intensity=0.8, instructions=0
     )
     saw_header = False
     expected_records = None
-    for line_no, raw in enumerate(fp, start=1):
+    for line_no, raw in enumerate(lines, start=1):
         line = raw.strip()
         if not line:
             continue
         if line.startswith(_EVENTS_HEADER_PREFIX):
             header = _parse_header_fields(line[len(_EVENTS_HEADER_PREFIX):])
-            try:
-                log.trace_name = header.get("name", name)
-                log.memory_intensity = float(
-                    header.get("intensity", log.memory_intensity)
-                )
-                log.instructions = int(
-                    header.get("instructions", log.instructions)
-                )
-                log.counter_warmup_passes = int(
-                    header.get("warmup", log.counter_warmup_passes)
-                )
-                log.l2_stats.accesses = int(header.get("l2_accesses", 0))
-                log.l2_stats.sector_hits = int(header.get("l2_hits", 0))
-                log.l2_stats.sector_misses = int(header.get("l2_misses", 0))
-            except ValueError as exc:
-                raise TraceFormatError(
-                    f"bad header: {exc}", line=line_no
-                ) from None
+            _apply_event_log_header(log, header, name, line_no)
             saw_header = True
             continue
         if line.startswith(_FOOTER_PREFIX):
@@ -354,12 +445,10 @@ def load_event_log(fp: TextIO, name: str = "imported") -> "MemoryEventLog":
                     "(truncated record?)",
                     line=line_no,
                 )
-        kind = EventKind.FILL if kind_token == "F" else EventKind.WRITEBACK
-        log.events.append(MemoryEvent(kind, partition, sector, values))
-        if kind is EventKind.FILL:
-            log.fill_sectors += 1
+        if kind_token == "F":
+            log.append_fill(partition, sector, values)
         else:
-            log.writeback_sectors += 1
+            log.append_writeback(partition, sector, values)
     if not saw_header:
         raise TraceFormatError(
             f"event-log file is missing its '{_EVENTS_HEADER_PREFIX}' "
@@ -370,6 +459,145 @@ def load_event_log(fp: TextIO, name: str = "imported") -> "MemoryEventLog":
             f"footer declares {expected_records} records but file "
             f"contains {len(log.events)} (truncated file?)"
         )
+    return log
+
+
+def _decode_chunk_blob(
+    tag: str, token: str, expected_bytes: int, line_no: int
+) -> bytes:
+    if tag == "D" and token == "-":
+        blob = b""
+    else:
+        try:
+            blob = bytes.fromhex(token)
+        except ValueError:
+            raise TraceFormatError(
+                f"bad hex blob in '{tag}' record", line=line_no
+            ) from None
+    if len(blob) != expected_bytes:
+        raise TraceFormatError(
+            f"'{tag}' record holds {len(blob)} bytes, expected "
+            f"{expected_bytes} (truncated chunk?)",
+            line=line_no,
+        )
+    return blob
+
+
+def _load_event_log_columnar(
+    lines: List[str], name: str
+) -> "MemoryEventLog":
+    from repro.gpu.columnar import ColumnStore
+    from repro.gpu.simulator import MemoryEventLog
+
+    log = MemoryEventLog(
+        trace_name=name, memory_intensity=0.8, instructions=0
+    )
+    store: ColumnStore = log.events.store
+    saw_header = False
+    expected_records = None
+    index = 0
+    while index < len(lines):
+        line_no = index + 1
+        line = lines[index].strip()
+        index += 1
+        if not line:
+            continue
+        if line.startswith(_COLUMNAR_HEADER_PREFIX):
+            header = _parse_header_fields(
+                line[len(_COLUMNAR_HEADER_PREFIX):]
+            )
+            _apply_event_log_header(log, header, name, line_no)
+            saw_header = True
+            continue
+        if line.startswith(_CHUNK_PREFIX):
+            if not saw_header:
+                raise TraceFormatError(
+                    f"chunk before the '{_COLUMNAR_HEADER_PREFIX}' header "
+                    "(missing or misplaced header line)",
+                    line=line_no,
+                )
+            fields = _parse_header_fields(line[len(_CHUNK_PREFIX):])
+            try:
+                n_events = int(fields["events"])
+                payload_bytes = int(fields["payload"])
+            except (KeyError, ValueError):
+                raise TraceFormatError(
+                    f"bad '{_CHUNK_PREFIX}' record (expected events=N "
+                    "payload=M)",
+                    line=line_no,
+                ) from None
+            if n_events < 0 or payload_bytes < 0:
+                raise TraceFormatError(
+                    "negative chunk geometry", line=line_no
+                )
+            sizes = {
+                "K": n_events, "P": 4 * n_events, "S": 8 * n_events,
+                "L": 4 * n_events, "D": payload_bytes,
+            }
+            blobs: Dict[str, bytes] = {}
+            for tag, expected in sizes.items():
+                while index < len(lines) and not lines[index].strip():
+                    index += 1
+                record_no = index + 1
+                record = lines[index].strip() if index < len(lines) else ""
+                index += 1
+                if not record.startswith(tag + " "):
+                    raise TraceFormatError(
+                        f"expected '{tag}' column record in chunk",
+                        line=record_no,
+                    )
+                blobs[tag] = _decode_chunk_blob(
+                    tag, record[2:].strip(), expected, record_no
+                )
+            kinds = blobs["K"]
+            if any(code > 1 for code in kinds):
+                raise TraceFormatError(
+                    "event kind byte must be 0 (fill) or 1 (writeback)",
+                    line=line_no,
+                )
+            partitions = np.frombuffer(blobs["P"], dtype="<i4")
+            sectors = np.frombuffer(blobs["S"], dtype="<i8")
+            lengths = np.frombuffer(blobs["L"], dtype="<i4")
+            if partitions.size and (
+                int(partitions.min()) < 0 or int(sectors.min()) < 0
+            ):
+                raise TraceFormatError(
+                    "negative partition or sector", line=line_no
+                )
+            present = lengths >= 0
+            if not bool(np.all(lengths[present] == 32)):
+                raise TraceFormatError(
+                    "sector image must be 32 bytes (truncated record?)",
+                    line=line_no,
+                )
+            try:
+                store.extend_decoded(
+                    kinds, partitions, sectors, lengths, blobs["D"]
+                )
+            except ValueError as exc:
+                raise TraceFormatError(str(exc), line=line_no) from None
+            continue
+        if line.startswith(_FOOTER_PREFIX):
+            expected_records = _parse_footer(line_no, line)
+            continue
+        if line.startswith("#"):
+            continue
+        raise TraceFormatError(
+            "unexpected record in columnar event log", line=line_no
+        )
+    if not saw_header:
+        raise TraceFormatError(
+            f"event-log file is missing its '{_COLUMNAR_HEADER_PREFIX}' "
+            "header line"
+        )
+    if expected_records is not None and expected_records != len(store):
+        raise TraceFormatError(
+            f"footer declares {expected_records} records but file "
+            f"contains {len(store)} (truncated file?)"
+        )
+    cols = store.to_columns()
+    log.fill_sectors = cols.fill_count
+    log.writeback_sectors = cols.writeback_count
     return log
 
 

@@ -62,6 +62,31 @@ class TestRunMatrix:
         assert run.parallel is not None and run.parallel[0] == "plutus"
         assert run.roundtrip is not None
         assert set(run.functional) == {"pssm"}
+        assert set(run.object_path) == set(run.results)
+
+    def test_columnar_cross_check_matches_default_path(self):
+        run = run_matrix(
+            _log(),
+            engines=("nosec", "plutus"),
+            check_parallel=False,
+            check_roundtrip=False,
+            functional_modes=(),
+        )
+        for key, scalar in run.object_path.items():
+            columnar = run.results[key]
+            assert columnar.traffic == scalar.traffic
+            assert columnar.engine_stats == scalar.engine_stats
+
+    def test_columnar_cross_check_can_be_disabled(self):
+        run = run_matrix(
+            _log(),
+            engines=("nosec",),
+            check_parallel=False,
+            check_roundtrip=False,
+            check_columnar=False,
+            functional_modes=(),
+        )
+        assert run.object_path == {}
 
     def test_single_partition_skips_parallel(self):
         run = run_matrix(

@@ -10,6 +10,7 @@ from repro.common.errors import EXIT_OK, EXIT_USAGE, ReproError
 from repro.harness.bench import (
     DEFAULT_ENGINES,
     TRAJECTORY_SCHEMA,
+    IdentityMismatchError,
     append_entry,
     bench_main,
     environment_fingerprint,
@@ -73,6 +74,49 @@ class TestRunBench:
         for key in DEFAULT_ENGINES[:3]:
             assert key in text
         assert "calibration:" in text
+        assert "columnar path" in text
+
+    def test_entry_records_path_and_batched_flags(self, entry):
+        assert entry["path"] == "columnar"
+        # nosec is the one roster engine with a native batch fast path.
+        assert entry["engines"]["nosec"]["batched"] is True
+        assert entry["engines"]["pssm"]["batched"] is False
+
+    def test_object_path_recorded_when_requested(self):
+        entry = run_bench(
+            "bfs", ["nosec"], length=200, repeats=1, workers=1,
+            path="object",
+        )
+        assert entry["path"] == "object"
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ValueError, match="replay path"):
+            run_bench("bfs", ["nosec"], length=200, path="simd")
+
+    def test_verify_identity_passes_on_real_engines(self):
+        entry = run_bench(
+            "bfs", ["nosec", "plutus"], length=200, repeats=1, workers=1,
+            verify_identity=True,
+        )
+        assert set(entry["engines"]) == {"nosec", "plutus"}
+
+    def test_verify_identity_mismatch_raises(self, monkeypatch):
+        import repro.gpu.simulator as simulator
+
+        real = simulator.replay_events
+
+        def skewed(log, factory, config, **kwargs):
+            result = real(log, factory, config, **kwargs)
+            if kwargs.get("path") == "columnar":
+                result.engine_stats.fills += 1
+            return result
+
+        monkeypatch.setattr(simulator, "replay_events", skewed)
+        with pytest.raises(IdentityMismatchError, match="nosec"):
+            run_bench(
+                "bfs", ["nosec"], length=200, repeats=1, workers=1,
+                verify_identity=True,
+            )
 
 
 class TestTrajectoryFile:
@@ -189,6 +233,203 @@ class TestCompareTrajectory:
             tolerance=1.5,
         )
         assert report["regressions"] == []
+
+    def test_regressions_compare_same_path_only(self):
+        # A columnar entry is gated against the latest columnar entry,
+        # not against the (much slower) object-path history.
+        mod = load_check_regression()
+        object_base = self.make_entry(1000.0)
+        columnar_base = self.make_entry(10000.0, path="columnar")
+        fresh = self.make_entry(9000.0, path="columnar")
+        report = mod.compare_trajectory(
+            fresh, {"entries": [object_base, columnar_base]}, tolerance=1.5
+        )
+        assert report["path"] == "columnar"
+        assert report["regressions"] == []
+
+
+class TestImprovementGate:
+    def make_entry(self, eps, calibration=0.01, path="object",
+                   batched=True, **overrides):
+        entry = {
+            "benchmark": "bfs",
+            "length": 200,
+            "seed": 2023,
+            "path": path,
+            "calibration_seconds": calibration,
+            "engines": {
+                "nosec": {
+                    "serial_eps": eps, "sharded_eps": eps,
+                    "batched": batched,
+                },
+            },
+        }
+        entry.update(overrides)
+        return entry
+
+    def test_object_entries_never_arm_the_gate(self):
+        mod = load_check_regression()
+        report = mod.compare_trajectory(
+            self.make_entry(1000.0),
+            {"entries": [self.make_entry(1000.0)]},
+            tolerance=1.5,
+        )
+        assert "improvement" not in report
+
+    def test_columnar_speedup_satisfies_gate(self):
+        mod = load_check_regression()
+        object_ref = self.make_entry(1000.0)
+        fresh = self.make_entry(5000.0, path="columnar")
+        report = mod.compare_trajectory(
+            fresh, {"entries": [object_ref]}, tolerance=1.5,
+            min_improvement=3.0,
+        )
+        gate = report["improvement"]
+        assert gate["failures"] == []
+        [row] = gate["rows"]
+        assert row["status"] == "improved"
+        assert row["normalized_ratio"] == pytest.approx(5.0)
+
+    def test_insufficient_speedup_fails_gate(self):
+        mod = load_check_regression()
+        object_ref = self.make_entry(1000.0)
+        fresh = self.make_entry(2000.0, path="columnar")
+        report = mod.compare_trajectory(
+            fresh, {"entries": [object_ref]}, tolerance=1.5,
+            min_improvement=3.0,
+        )
+        assert report["improvement"]["failures"] == ["nosec:serial_eps"]
+
+    def test_gate_is_calibration_normalized(self):
+        # 3x raw eps on a machine that is 2x faster is only 1.5x real
+        # improvement: the gate must see through machine speed.
+        mod = load_check_regression()
+        object_ref = self.make_entry(1000.0, calibration=0.02)
+        fresh = self.make_entry(3000.0, calibration=0.01, path="columnar")
+        report = mod.compare_trajectory(
+            fresh, {"entries": [object_ref]}, tolerance=1.5,
+            min_improvement=3.0,
+        )
+        [row] = report["improvement"]["rows"]
+        assert row["normalized_ratio"] == pytest.approx(1.5)
+        assert report["improvement"]["failures"] == ["nosec:serial_eps"]
+
+    def test_no_batched_rows_fails_gate(self):
+        mod = load_check_regression()
+        object_ref = self.make_entry(1000.0)
+        fresh = self.make_entry(5000.0, path="columnar", batched=False)
+        report = mod.compare_trajectory(
+            fresh, {"entries": [object_ref]}, tolerance=1.5,
+        )
+        assert any(
+            "no batched" in failure
+            for failure in report["improvement"]["failures"]
+        )
+
+    def test_missing_object_reference_noted_not_failed(self):
+        mod = load_check_regression()
+        fresh = self.make_entry(5000.0, path="columnar")
+        report = mod.compare_trajectory(
+            fresh,
+            {"entries": [self.make_entry(4000.0, path="columnar")]},
+            tolerance=1.5,
+        )
+        assert "improvement" not in report
+        assert "not armed" in report["improvement_note"]
+
+    def test_committed_trajectory_satisfies_the_gate(self):
+        """The committed columnar entry must demonstrate the speedup."""
+        mod = load_check_regression()
+        payload = load_trajectory(
+            REPO_ROOT / "benchmarks" / "BENCH_0001.json"
+        )
+        latest = payload["entries"][-1]
+        assert latest.get("path") == "columnar"
+        report = mod.compare_trajectory(
+            latest, {"entries": payload["entries"][:-1]}, tolerance=1.5,
+            min_improvement=3.0,
+        )
+        assert report["improvement"]["failures"] == []
+
+
+class TestTrajectoryGateCli:
+    def _entry(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text(json.dumps({
+            "benchmark": "bfs", "length": 200, "seed": 2023,
+            "calibration_seconds": 0.01,
+            "engines": {"plutus": {"serial_eps": 1000.0}},
+        }))
+        return path
+
+    def _trajectory(self, tmp_path, entries):
+        path = tmp_path / "traj.json"
+        path.write_text(json.dumps(
+            {"schema": TRAJECTORY_SCHEMA, "entries": entries}
+        ))
+        return path
+
+    def test_missing_entry_file_is_usage_error(self, tmp_path, capsys):
+        mod = load_check_regression()
+        with pytest.raises(SystemExit) as excinfo:
+            mod.main([
+                "--trajectory-entry", str(tmp_path / "absent.json"),
+                "--output", str(tmp_path / "out.json"),
+            ])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err and "absent.json" in err
+
+    def test_unparseable_trajectory_is_usage_error(self, tmp_path, capsys):
+        mod = load_check_regression()
+        bad = tmp_path / "traj.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            mod.main([
+                "--trajectory-entry", str(self._entry(tmp_path)),
+                "--trajectory", str(bad),
+                "--output", str(tmp_path / "out.json"),
+            ])
+        assert excinfo.value.code == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_empty_trajectory_is_usage_error(self, tmp_path, capsys):
+        mod = load_check_regression()
+        rc = mod.main([
+            "--trajectory-entry", str(self._entry(tmp_path)),
+            "--trajectory", str(self._trajectory(tmp_path, [])),
+            "--output", str(tmp_path / "out.json"),
+        ])
+        assert rc == 2
+        assert "no entries" in capsys.readouterr().err
+
+    def test_clean_comparison_exits_zero(self, tmp_path):
+        mod = load_check_regression()
+        base = json.loads(self._entry(tmp_path).read_text())
+        rc = mod.main([
+            "--trajectory-entry", str(self._entry(tmp_path)),
+            "--trajectory", str(self._trajectory(tmp_path, [base])),
+            "--output", str(tmp_path / "out.json"),
+        ])
+        assert rc == 0
+
+    def test_failed_improvement_gate_exits_one(self, tmp_path, capsys):
+        mod = load_check_regression()
+        base = json.loads(self._entry(tmp_path).read_text())
+        entry = tmp_path / "columnar.json"
+        payload = json.loads(self._entry(tmp_path).read_text())
+        payload["path"] = "columnar"
+        payload["engines"]["plutus"]["batched"] = True
+        payload["engines"]["plutus"]["serial_eps"] = 1500.0
+        entry.write_text(json.dumps(payload))
+        rc = mod.main([
+            "--trajectory-entry", str(entry),
+            "--trajectory", str(self._trajectory(tmp_path, [base])),
+            "--output", str(tmp_path / "out.json"),
+            "--min-improvement", "3.0",
+        ])
+        assert rc == 1
+        assert "IMPROVEMENT GATE FAILED" in capsys.readouterr().err
 
 
 class TestCli:
