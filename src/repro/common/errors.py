@@ -85,6 +85,43 @@ class ReplayError(SecurityViolation):
     """Integrity-tree verification failed: stale data was replayed."""
 
 
+class RecoveryError(SecurityViolation):
+    """Post-crash recovery could not restore a verified state.
+
+    Raised by :meth:`repro.secure.recoverable.RecoverableSecureMemory.recover`
+    when the persistent image fails validation after WAL redo: the root
+    slots are unreadable, the journal is structurally inconsistent, the
+    rebuilt counter tree disagrees with the committed root, or the
+    recovery scrub finds a sector whose MAC no longer verifies. This is
+    the *detected* end state of a torn crash — the opposite of silent
+    corruption.
+    """
+
+
+class CrashError(ReproError):
+    """Simulated power loss injected at a persist barrier.
+
+    Raised by a crash hook installed on an
+    :class:`~repro.mem.backing.NvmRegion`: all volatile state above the
+    persistent image is dead at this point and only what the hook chose
+    to persist survives. Carries the barrier *site* label and global
+    barrier sequence number so the torture harness can attribute the
+    kill.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        site: "str | None" = None,
+        barrier_seq: "int | None" = None,
+    ) -> None:
+        super().__init__(message)
+        #: Persist-barrier site label the crash was injected at.
+        self.site = site
+        #: Global barrier sequence number of the injection point.
+        self.barrier_seq = barrier_seq
+
+
 class CounterOverflowError(ReproError):
     """An encryption counter exhausted its range.
 

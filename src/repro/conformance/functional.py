@@ -136,6 +136,173 @@ def execute_log(
     return outcome
 
 
+#: Folded size of the crash-recovery probe's engine, in sectors. Much
+#: smaller than :data:`DEFAULT_FOLD_SECTORS`: the recoverable engine
+#: provisions (and recovery rebuilds) a persistent image proportional
+#: to the memory size, and the probe runs three times per log.
+RECOVERY_FOLD_SECTORS = 64
+
+
+@dataclass
+class RecoveryOutcome:
+    """What the crash-recovery probe observed while executing a log."""
+
+    events_consumed: int = 0
+    writes: int = 0
+    #: 0-based op index whose write transaction the probe tore.
+    crash_op: Optional[int] = None
+    #: Whether the planned mid-log kill actually fired.
+    crash_fired: bool = False
+    committed_match: bool = False
+    digest_match: bool = False
+    #: Post-recovery reads whose plaintext differed from the shadow.
+    mismatches: int = 0
+    #: Security exceptions raised by recovery or the honest replay.
+    security_violations: List[str] = field(default_factory=list)
+
+
+def execute_recovery_probe(
+    log: MemoryEventLog,
+    fold_sectors: int = RECOVERY_FOLD_SECTORS,
+    max_events: Optional[int] = None,
+) -> Optional[RecoveryOutcome]:
+    """Crash the recoverable engine mid-log, recover, replay the rest.
+
+    The log is distilled into one folded op stream and executed three
+    ways: uncrashed (the reference digest), crashed — a simulated power
+    loss that persists *nothing* during the middle write's WAL append —
+    and recovered-then-replayed from the crash point. The recovered run
+    must land byte-identical to the reference: same committed
+    transaction count, same persistent-state digest, and every replayed
+    read returning exactly what the shadow model expects. Returns
+    ``None`` when the executed prefix contains no writebacks (there is
+    no transaction to tear).
+    """
+    from repro.common.errors import CrashError
+    from repro.mem.backing import NvmRegion
+    from repro.secure.recoverable import RecoverableSecureMemory
+
+    if fold_sectors <= 0:
+        raise ValueError("fold_sectors must be positive")
+    size_bytes = fold_sectors * SECTOR_BYTES
+
+    ops: List[tuple] = []
+    for index, event in enumerate(log.events):
+        address = (event.sector_index % fold_sectors) * SECTOR_BYTES
+        if event.kind is EventKind.WRITEBACK:
+            data = event.values
+            if data is None or len(data) != SECTOR_BYTES:
+                data = _fill_payload("recoverable", index, address)
+            ops.append(("write", address, data))
+        else:
+            ops.append(("read", address, b""))
+
+    write_indices = [i for i, op in enumerate(ops) if op[0] == "write"]
+    if not write_indices:
+        return None
+    if max_events is not None and len(ops) > max_events:
+        # Benchmark logs flush writebacks at the end, so a plain prefix
+        # may be write-free; center the bounded window on the middle
+        # write instead (distilling is cheap — executing is not).
+        mid = write_indices[len(write_indices) // 2]
+        start = max(0, min(mid - max_events // 2, len(ops) - max_events))
+        ops = ops[start:start + max_events]
+        write_indices = [i for i, op in enumerate(ops) if op[0] == "write"]
+        if not write_indices:
+            return None
+
+    outcome = RecoveryOutcome(events_consumed=len(ops))
+    outcome.writes = len(write_indices)
+    # Tear the middle write (1-based ordinal among the log's writes);
+    # each write op appends exactly one WAL record, so counting
+    # ``write:wal-append`` barriers identifies it.
+    target_ordinal = len(write_indices) // 2 + 1
+    outcome.crash_op = write_indices[target_ordinal - 1]
+
+    reference = RecoverableSecureMemory(size_bytes)
+    for kind, address, data in ops:
+        if kind == "write":
+            reference.write(address, data)
+        else:
+            reference.read(address, SECTOR_BYTES)
+    ref_digest = reference.state_digest()
+    ref_committed = reference.committed_seq
+
+    region = NvmRegion(reference.nvm_bytes)
+    seen = {"appends": 0}
+
+    def kill(site: str, seq: int, pending) -> None:
+        if site != "write:wal-append":
+            return
+        seen["appends"] += 1
+        if seen["appends"] == target_ordinal:
+            region.crash(())
+            raise CrashError(
+                f"probe kill at {site}", site=site, barrier_seq=seq
+            )
+
+    region.install_barrier_hook(kill)
+    engine = RecoverableSecureMemory(size_bytes, nvm=region, fresh=True)
+    try:
+        for kind, address, data in ops:
+            if kind == "write":
+                engine.write(address, data)
+            else:
+                engine.read(address, SECTOR_BYTES)
+    except CrashError:
+        outcome.crash_fired = True
+    region.install_barrier_hook(None)
+    if not outcome.crash_fired:
+        return outcome
+
+    try:
+        recovered = RecoverableSecureMemory.recover(
+            region.persistent_image(), size_bytes=size_bytes
+        )
+    except SecurityViolation as exc:
+        outcome.security_violations.append(f"recovery: {exc}")
+        return outcome
+
+    # Resume point: each write op commits exactly one transaction, so
+    # the recovered count identifies the durable prefix; the shadow is
+    # rebuilt from it and the remainder replays on the recovered engine.
+    remaining = recovered.committed_seq
+    shadow: Dict[int, bytes] = {}
+    resume = 0
+    if remaining:
+        for i, (kind, address, data) in enumerate(ops):
+            if kind != "write":
+                continue
+            shadow[address] = data
+            remaining -= 1
+            if remaining == 0:
+                resume = i + 1
+                break
+        if remaining:
+            outcome.security_violations.append(
+                f"recovered {recovered.committed_seq} committed "
+                f"transactions, more than the workload's "
+                f"{len(write_indices)} writes"
+            )
+            return outcome
+    try:
+        for kind, address, data in ops[resume:]:
+            if kind == "write":
+                recovered.write(address, data)
+                shadow[address] = data
+            else:
+                plaintext = recovered.read(address, SECTOR_BYTES)
+                expected = shadow.get(address, b"\x00" * SECTOR_BYTES)
+                if plaintext != expected:
+                    outcome.mismatches += 1
+    except SecurityViolation as exc:
+        outcome.security_violations.append(f"replay: {exc}")
+        return outcome
+    outcome.committed_match = recovered.committed_seq == ref_committed
+    outcome.digest_match = recovered.state_digest() == ref_digest
+    return outcome
+
+
 def execute_modes(
     log: MemoryEventLog,
     modes=FUNCTIONAL_MODES,

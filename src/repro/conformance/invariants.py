@@ -280,6 +280,42 @@ def _check_functional(run: MatrixRun) -> List[str]:
     return messages
 
 
+def _check_recovery(run: MatrixRun) -> List[str]:
+    outcome = run.recovery
+    if outcome is None:
+        return []
+    messages = []
+    if not outcome.crash_fired:
+        messages.append(
+            f"recovery probe planned a kill at op {outcome.crash_op} "
+            f"but the crash never fired"
+        )
+        return messages
+    if outcome.security_violations:
+        first = outcome.security_violations[0]
+        messages.append(
+            f"honest crash/recover/replay raised "
+            f"{len(outcome.security_violations)} security violation(s), "
+            f"first: {first}"
+        )
+    if outcome.mismatches:
+        messages.append(
+            f"{outcome.mismatches} post-recovery read(s) returned "
+            f"plaintext differing from the shadow model"
+        )
+    if not messages and not outcome.committed_match:
+        messages.append(
+            "recovered-and-replayed committed transaction count differs "
+            "from the uncrashed run"
+        )
+    if not messages and not outcome.digest_match:
+        messages.append(
+            "recovered-and-replayed persistent state digest differs "
+            "from the uncrashed run"
+        )
+    return messages
+
+
 def _check_plutus_leq_pssm(run: MatrixRun) -> List[str]:
     baseline = run.results.get("pssm")
     if baseline is None:
@@ -357,6 +393,12 @@ INVARIANTS: Tuple[Invariant, ...] = (
         "functional crypto verifies end-to-end and its MAC accounting "
         "closes against the log's fetch decisions",
         _check_functional,
+    ),
+    Invariant(
+        "recovery-consistency", True,
+        "crashing the recoverable engine mid-log, recovering, and "
+        "replaying the remainder is byte-identical to the uncrashed run",
+        _check_recovery,
     ),
     Invariant(
         "plutus-leq-pssm", False,

@@ -17,7 +17,9 @@ from repro.conformance.functional import (
     DEFAULT_FOLD_SECTORS,
     FUNCTIONAL_MODES,
     FunctionalOutcome,
+    RecoveryOutcome,
     execute_modes,
+    execute_recovery_probe,
 )
 from repro.gpu.config import VOLTA, GpuConfig
 from repro.gpu.simulator import (
@@ -40,6 +42,9 @@ CONFORMANCE_ENGINES: Tuple[str, ...] = (
     "plutus:value-only",
     "compact:adaptive",
     "gran:32B-all",
+    # The crash-recoverable variant: PSSM-shaped traffic plus the
+    # persisted metadata-log stream (never claim-bounded by PSSM).
+    "recoverable",
 )
 
 #: Engine replayed a second time for the serial-vs-parallel and
@@ -77,6 +82,9 @@ class MatrixRun:
     #: default (columnar where eligible) path, so the oracle can demand
     #: byte-identity between the two replay implementations.
     object_path: Dict[str, SimulationResult] = field(default_factory=dict)
+    #: Crash-recovery probe outcome; ``None`` when the stage was
+    #: disabled or the log has no writebacks (nothing to tear).
+    recovery: Optional[RecoveryOutcome] = None
     claims_apply: bool = False
 
 
@@ -103,6 +111,7 @@ def run_matrix(
     check_parallel: bool = True,
     check_roundtrip: bool = True,
     check_columnar: bool = True,
+    check_recovery: bool = True,
     functional_modes: Sequence[str] = FUNCTIONAL_MODES,
     functional_events: Optional[int] = DEFAULT_FUNCTIONAL_EVENTS,
     fold_sectors: int = DEFAULT_FOLD_SECTORS,
@@ -153,5 +162,9 @@ def run_matrix(
             modes=tuple(functional_modes),
             fold_sectors=fold_sectors,
             max_events=functional_events,
+        )
+    if check_recovery:
+        run.recovery = execute_recovery_probe(
+            log, max_events=functional_events
         )
     return run

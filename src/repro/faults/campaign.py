@@ -92,12 +92,24 @@ def value_cache_false_accept_rate(
 
 
 class Outcome(Enum):
-    """Classification of one injection trial."""
+    """Classification of one injection trial.
+
+    The first four classify adversarial tampering; the last two classify
+    crash-point trials (:mod:`repro.faults.crashpoints`): ``RECOVERED``
+    means post-crash recovery plus replay reproduced the uncrashed
+    state byte-for-byte, ``TORN`` means the crash left a state the
+    engine *detected* as unrecoverable (a
+    :class:`~repro.common.errors.RecoveryError` or downstream security
+    violation). Silent corruption after a crash is classified as
+    ``FALSE_ACCEPT`` — the one hard failure of the crash taxonomy.
+    """
 
     DETECTED = "detected"
     BENIGN = "benign"
     FALSE_ACCEPT = "false_accept"
     MISSED = "missed"
+    RECOVERED = "recovered"
+    TORN = "torn"
 
 
 @dataclass(frozen=True)
@@ -194,6 +206,15 @@ def build_engine(variant: str, spec: CampaignSpec) -> SecureMemory:
         return SecureMemory(
             spec.size_bytes, mode="plutus", value_cache_config=None,
             mac_tag_bytes=spec.mac_tag_bytes, label="functional",
+        )
+    if variant == "recoverable":
+        from repro.secure.recoverable import RecoverableSecureMemory
+
+        # The crash-recoverable engine under adversarial (not crash)
+        # injection: its volatile attack surfaces are the same as the
+        # functional reference, so every covered fault must be detected.
+        return RecoverableSecureMemory(
+            spec.size_bytes, mac_tag_bytes=spec.mac_tag_bytes,
         )
     raise FaultInjectionError(f"unknown engine variant {variant!r}")
 
@@ -323,6 +344,8 @@ class MatrixCell:
     benign: int = 0
     false_accepts: int = 0
     missed: int = 0
+    recovered: int = 0
+    torn: int = 0
 
     @property
     def false_accept_rate(self) -> float:
@@ -336,6 +359,10 @@ class MatrixCell:
             self.benign += 1
         elif outcome is Outcome.FALSE_ACCEPT:
             self.false_accepts += 1
+        elif outcome is Outcome.RECOVERED:
+            self.recovered += 1
+        elif outcome is Outcome.TORN:
+            self.torn += 1
         else:
             self.missed += 1
 

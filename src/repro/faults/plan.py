@@ -20,8 +20,11 @@ SECTOR_BYTES = 32
 
 #: The secure-memory variants a campaign attacks. ``"functional"`` is
 #: AES-XTS with an unconditional MAC (no value cache) — the reference
-#: where every covered fault must be detected outright.
-ENGINE_VARIANTS: Tuple[str, ...] = ("plutus", "pssm", "functional")
+#: where every covered fault must be detected outright. ``"recoverable"``
+#: is the crash-recoverable engine (same volatile surfaces as
+#: ``"functional"``, plus a persistent image the crash campaigns kill).
+ENGINE_VARIANTS: Tuple[str, ...] = ("plutus", "pssm", "functional",
+                                    "recoverable")
 
 
 class FaultKind(Enum):

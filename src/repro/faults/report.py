@@ -1,10 +1,11 @@
-"""Rendering a campaign's detection matrix for the CLI."""
+"""Rendering campaign matrices (detection and crash) for the CLI."""
 
 from __future__ import annotations
 
 from typing import List
 
 from repro.faults.campaign import CampaignReport, MatrixCell
+from repro.faults.crashpoints import CrashReport
 from repro.faults.plan import QUANTIFIED_KINDS, FaultKind
 
 
@@ -81,6 +82,59 @@ def render_campaign(report: CampaignReport) -> str:
         lines.append(
             f"DISALLOWED FALSE-ACCEPT: [{record.engine}] "
             f"{record.plan.describe()}"
+        )
+    lines.append("verdict: " + ("PASS" if report.ok else "FAIL"))
+    return "\n".join(lines)
+
+
+def render_crash_report(report: CrashReport) -> str:
+    """ASCII matrix (persist site × op class) plus the crash verdict."""
+    sites = sorted({site for site, _ in report.cells})
+    classes = sorted({cls for _, cls in report.cells})
+    rows: List[List[str]] = []
+    for site in sites:
+        row = [site]
+        for cls in classes:
+            cell = report.cells.get((site, cls))
+            if cell is None:
+                row.append("-")
+                continue
+            text = f"{cell.recovered}r/{cell.torn}t/{cell.trials}"
+            if cell.silent:
+                text += f" {cell.silent} SILENT"
+            row.append(text)
+        rows.append(row)
+
+    headers = ["persist site"] + classes
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in rows)) if rows
+        else len(headers[c])
+        for c in range(len(headers))
+    ]
+
+    def fmt(cols: List[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cols, widths)).rstrip()
+
+    spec = report.spec
+    lines = [
+        f"crash campaign '{spec.name}': seed={spec.seed} "
+        f"{len(report.records)} kills "
+        f"(cells are recovered/torn/trials)",
+        fmt(headers),
+        fmt(["-" * w for w in widths]),
+    ]
+    lines.extend(fmt(row) for row in rows)
+    lines.append(
+        "coverage: sites=" + ",".join(report.sites_covered)
+    )
+    lines.append(
+        "coverage: op-classes=" + ",".join(report.op_classes_covered)
+        + (" (complete)" if report.complete else " (INCOMPLETE)")
+    )
+    for record in report.silent_corruptions:
+        lines.append(
+            f"SILENT CORRUPTION: {record.site} [{record.op_class}] "
+            f"op {record.op_index} mode={record.mode} -> {record.detail}"
         )
     lines.append("verdict: " + ("PASS" if report.ok else "FAIL"))
     return "\n".join(lines)

@@ -226,12 +226,15 @@ def profile_main(argv) -> int:
 def inject_main(argv) -> int:
     """Parse and run the ``inject`` subcommand."""
     from repro.faults.campaign import CAMPAIGNS
+    from repro.faults.crashpoints import CRASH_CAMPAIGNS
     from repro.faults.plan import ENGINE_VARIANTS
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness inject",
         description="Mount an adversarial fault-injection campaign and "
-                    "print the detection matrix.",
+                    "print the detection matrix. Crash campaigns instead "
+                    "kill the recoverable engine at every persist "
+                    "barrier and print the recovery matrix.",
     )
     parser.add_argument(
         "benchmark",
@@ -239,13 +242,15 @@ def inject_main(argv) -> int:
     )
     parser.add_argument(
         "--campaign", default="quick",
-        help=f"campaign to mount (default: quick; known: "
-             f"{sorted(CAMPAIGNS)})",
+        help=f"campaign to mount (default: quick; fault campaigns: "
+             f"{sorted(CAMPAIGNS)}; crash campaigns: "
+             f"{sorted(CRASH_CAMPAIGNS)})",
     )
     parser.add_argument(
         "--engines", nargs="+", default=None, metavar="ENGINE",
         help="restrict the engine roster (default: the campaign's own; "
-             f"known: {sorted(ENGINE_VARIANTS)})",
+             f"known: {sorted(ENGINE_VARIANTS)}; not applicable to "
+             "crash campaigns)",
     )
     parser.add_argument(
         "--length", type=int, default=DEFAULT_TRACE_LENGTH,
@@ -259,14 +264,25 @@ def inject_main(argv) -> int:
         help="root of the on-disk trace cache (default: $REPRO_CACHE_DIR "
              "or .cache; pass '' to disable)",
     )
-    add_resilience_flags(parser, journal=False)
+    add_resilience_flags(parser)
     add_logging_flags(parser)
     args = parser.parse_args(argv)
     setup_logging(args)
     _check_known(parser, "benchmark", args.benchmark, benchmark_names())
-    _check_known(parser, "campaign", args.campaign, CAMPAIGNS)
+    _check_known(
+        parser, "campaign", args.campaign,
+        set(CAMPAIGNS) | set(CRASH_CAMPAIGNS),
+    )
     for engine in args.engines or ():
         _check_known(parser, "engine variant", engine, ENGINE_VARIANTS)
+
+    if args.campaign in CRASH_CAMPAIGNS:
+        if args.engines:
+            parser.error(
+                "--engines does not apply to crash campaigns: they "
+                "always torture the recoverable engine"
+            )
+        return _inject_crash(args)
 
     from repro.faults.report import render_campaign
     from repro.harness.inject import run_inject
@@ -296,6 +312,47 @@ def inject_main(argv) -> int:
         return EXIT_FAILURE
     if supervision is not None and supervision.partial:
         return EXIT_PARTIAL
+    return EXIT_OK
+
+
+def _inject_crash(args) -> int:
+    """Run a crash-point torture campaign for ``inject``.
+
+    Silent corruption is an unconditional failure; an incomplete sweep
+    under a budget-cancelled (partial) supervision exits 3 so resumed
+    runs can finish the coverage.
+    """
+    from repro.faults.report import render_crash_report
+    from repro.harness.inject import run_inject_crash
+    from repro.resilience import render_outcome
+
+    supervisor_factory = None
+    if supervision_requested(args):
+        def supervisor_factory(campaign):
+            return build_supervisor(args, campaign)
+
+    try:
+        outcome = run_inject_crash(
+            args.benchmark,
+            args.campaign,
+            length=args.length,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            supervisor_factory=supervisor_factory,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(render_crash_report(outcome.report))
+    supervision = outcome.report.supervision
+    if supervision is not None:
+        print(render_outcome(supervision), file=sys.stderr)
+    if outcome.report.silent_corruptions:
+        return EXIT_FAILURE
+    if supervision is not None and supervision.partial:
+        return EXIT_PARTIAL
+    if not outcome.ok:
+        return EXIT_FAILURE
     return EXIT_OK
 
 
@@ -479,6 +536,7 @@ def list_main(argv) -> int:
     from repro.conformance.fuzzer import PATTERNS
     from repro.conformance.report import render_invariant_table
     from repro.faults.campaign import CAMPAIGNS
+    from repro.faults.crashpoints import CRASH_CAMPAIGNS
     from repro.faults.plan import ENGINE_VARIANTS
     from repro.harness.sweeps import SWEEP_NAMES
 
@@ -487,14 +545,17 @@ def list_main(argv) -> int:
         for key in keys:
             print(f"  {key}")
 
-    section("benchmarks", benchmark_names())
+    # Every section is sorted (or a deliberately ordered tuple like
+    # SWEEP_NAMES) so the listing is byte-stable across runs.
+    section("benchmarks", sorted(benchmark_names()))
     section("engines", sorted(engine_factories()))
     section("experiments", sorted(EXPERIMENTS))
     section("sweeps", SWEEP_NAMES)
     section("fault campaigns", sorted(CAMPAIGNS))
+    section("crash campaigns", sorted(CRASH_CAMPAIGNS))
     section("fault engine variants", sorted(ENGINE_VARIANTS))
-    section("fuzz patterns", PATTERNS)
-    section("corpus entries", (spec.name for spec in CORPUS))
+    section("fuzz patterns", sorted(PATTERNS))
+    section("corpus entries", sorted(spec.name for spec in CORPUS))
     print(render_invariant_table())
     return EXIT_OK
 

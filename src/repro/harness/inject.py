@@ -20,6 +20,12 @@ from typing import List, Optional, Sequence
 
 from repro.common.errors import FaultInjectionError
 from repro.faults.campaign import CampaignReport, campaign_spec, run_campaign
+from repro.faults.crashpoints import (
+    CrashReport,
+    crash_campaign_spec,
+    crash_ops_from_accesses,
+    run_crash_campaign,
+)
 from repro.faults.workload import Op, ops_from_trace
 from repro.gpu.config import VOLTA, GpuConfig
 from repro.harness.runner import DEFAULT_TRACE_LENGTH, ExperimentContext
@@ -33,6 +39,20 @@ class InjectResult:
     benchmark: str
     campaign: str
     report: CampaignReport
+    victim_ops: int
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+@dataclass
+class InjectCrashResult:
+    """One crash-torture sweep plus the workload it killed."""
+
+    benchmark: str
+    campaign: str
+    report: CrashReport
     victim_ops: int
 
     @property
@@ -120,4 +140,47 @@ def run_inject(
         campaign=campaign,
         report=report,
         victim_ops=victim,
+    )
+
+
+def run_inject_crash(
+    benchmark: str,
+    campaign: str = "crash",
+    *,
+    length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 2023,
+    config: GpuConfig = VOLTA,
+    cache_dir: Optional[str] = None,
+    supervisor_factory=None,
+) -> InjectCrashResult:
+    """Run one crash-point torture sweep on a benchmark-shaped workload.
+
+    The benchmark trace supplies the access *shape* (read/write mix and
+    hot-sector locality, folded into the campaign's tiny footprint);
+    :func:`~repro.faults.crashpoints.crash_ops_from_accesses` appends a
+    deterministic tail so every persist-barrier op class fires even for
+    read-heavy traces. ``supervisor_factory`` enables journaled,
+    resumable supervision — it receives the concrete campaign and
+    returns the supervisor.
+    """
+    spec = crash_campaign_spec(campaign)
+    ctx = ExperimentContext(
+        config=config,
+        trace_length=length,
+        seed=seed,
+        benchmarks=[benchmark],
+        cache_dir=cache_dir,
+    )
+    trace = ctx.trace(benchmark)
+    victim = ops_from_trace(trace, spec.size_bytes, limit=spec.num_ops)
+    accesses = [(op.address, op.write) for op in victim]
+    ops = crash_ops_from_accesses(spec, accesses)
+    report = run_crash_campaign(
+        spec, ops=ops, supervisor_factory=supervisor_factory
+    )
+    return InjectCrashResult(
+        benchmark=benchmark,
+        campaign=campaign,
+        report=report,
+        victim_ops=len(ops),
     )

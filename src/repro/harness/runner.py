@@ -45,6 +45,7 @@ from repro.secure.common_counters import CommonCountersEngine
 from repro.secure.engine import NoSecurityEngine, PartitionEngine
 from repro.secure.plutus import PlutusEngine
 from repro.secure.pssm import PssmEngine
+from repro.secure.recoverable import RecoverableEngine
 from repro.secure.value_cache import ValueCacheConfig
 from repro.workloads.benchmarks import benchmark_names, build_trace
 from repro.workloads.trace import Trace
@@ -144,6 +145,9 @@ def engine_factories() -> Dict[str, EngineFactory]:
         ),
         # Ablations.
         "pssm:eager": EngineSpec(PssmEngine, lazy_update=False),
+        # Crash-recoverable variant: PSSM traffic plus the persisted
+        # metadata-log stream (see repro.secure.recoverable).
+        "recoverable": EngineSpec(RecoverableEngine),
     }
     for entries in (64, 128, 256, 512, 1024):
         factories[f"plutus:vcache-{entries}"] = plutus_variant(

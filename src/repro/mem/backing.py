@@ -12,11 +12,19 @@ the attack harness.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 #: A write interposer: receives ``(address, data)`` and returns the
 #: bytes to actually store, or ``None`` to drop the write entirely.
 WriteHook = Callable[[int, bytes], Optional[bytes]]
+
+#: A persist-barrier interposer for :class:`NvmRegion`: receives the
+#: barrier's site label, its global sequence number, and the pending
+#: (address, data) writes about to be drained to the persistent image.
+#: A crash harness persists a chosen subset via :meth:`NvmRegion.crash`
+#: and raises :class:`~repro.common.errors.CrashError`; returning
+#: normally lets the barrier complete.
+BarrierHook = Callable[[str, int, Tuple[Tuple[int, bytes], ...]], None]
 
 
 class BackingStore:
@@ -111,3 +119,103 @@ class BackingStore:
     def touched_bytes(self) -> int:
         """Bytes of storage actually materialized (for tests)."""
         return len(self._chunks) * self.chunk_bytes
+
+    def clone(self) -> "BackingStore":
+        """Deep copy of the image (hooks are not carried over)."""
+        twin = BackingStore(self.size_bytes, self.chunk_bytes)
+        twin._chunks = {cid: bytearray(c) for cid, c in self._chunks.items()}
+        return twin
+
+
+class NvmRegion:
+    """A byte range with an explicit volatile/persistent split.
+
+    Models battery-less NVM behind a write-back path: :meth:`write`
+    lands in the *volatile* image (write buffers, caches) and is queued;
+    only :meth:`persist_barrier` drains queued writes into the
+    *persistent* image, which is all that survives a crash. Reads are
+    read-your-writes against the volatile image.
+
+    Barriers carry a *site* label (e.g. ``"write:wal-append"``) and a
+    monotonically increasing sequence number. The crash-point torture
+    harness interposes a :data:`BarrierHook` to enumerate sites and to
+    kill the machine mid-update: the hook persists an arbitrary subset
+    (possibly byte-truncated — a torn write) of the pending writes via
+    :meth:`crash` and raises :class:`~repro.common.errors.CrashError`.
+    """
+
+    def __init__(self, size_bytes: int, chunk_bytes: int = 4096) -> None:
+        self.size_bytes = size_bytes
+        self.persistent = BackingStore(size_bytes, chunk_bytes)
+        self.volatile = BackingStore(size_bytes, chunk_bytes)
+        self._pending: List[Tuple[int, bytes]] = []
+        self.barrier_hook: Optional[BarrierHook] = None
+        #: Global barrier counter (part of the durable discipline's
+        #: observable surface; survives deepcopy-based state forking).
+        self.barrier_seq = 0
+        #: Lifetime statistics.
+        self.persist_barriers = 0
+        self.persisted_writes = 0
+        self.crashed = False
+
+    def install_barrier_hook(self, hook: Optional[BarrierHook]) -> None:
+        """Interpose *hook* on every persist barrier (``None`` removes)."""
+        self.barrier_hook = hook
+
+    def write(self, address: int, data: bytes) -> None:
+        """Buffer a write: visible to reads, not yet durable."""
+        self.volatile.write(address, data)
+        self._pending.append((address, bytes(data)))
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read-your-writes view (volatile image)."""
+        return self.volatile.read(address, length)
+
+    def read_persistent(self, address: int, length: int) -> bytes:
+        """What a post-crash reader would see at *address*."""
+        return self.persistent.read(address, length)
+
+    @property
+    def pending_writes(self) -> Tuple[Tuple[int, bytes], ...]:
+        """Writes buffered since the last barrier (for the harness)."""
+        return tuple(self._pending)
+
+    def persist_barrier(self, site: str) -> None:
+        """Drain every pending write to the persistent image.
+
+        The installed hook (if any) runs *before* the drain, while the
+        pending set is still only volatile — exactly the window a real
+        power loss would tear.
+        """
+        self.barrier_seq += 1
+        if self.barrier_hook is not None:
+            self.barrier_hook(site, self.barrier_seq, tuple(self._pending))
+        for address, data in self._pending:
+            self.persistent.write(address, data)
+            self.persisted_writes += 1
+        self.persist_barriers += 1
+        self._pending.clear()
+
+    def crash(
+        self, persisted: Sequence[Tuple[int, bytes]] = ()
+    ) -> None:
+        """Simulate power loss: keep only *persisted* of the pending set.
+
+        *persisted* entries may be byte-truncated prefixes of pending
+        writes (a torn write). Afterwards the volatile image is reset to
+        the persistent one and the pending queue is dropped — the region
+        is what a cold reboot would find.
+        """
+        for address, data in persisted:
+            if data:
+                self.persistent.write(address, data)
+        self._pending.clear()
+        self.volatile = self.persistent.clone()
+        self.crashed = True
+
+    def persistent_image(self) -> "NvmRegion":
+        """A fresh region holding only the durable state (for recovery)."""
+        twin = NvmRegion(self.size_bytes, self.persistent.chunk_bytes)
+        twin.persistent = self.persistent.clone()
+        twin.volatile = self.persistent.clone()
+        return twin

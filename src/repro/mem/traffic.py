@@ -29,6 +29,9 @@ class Stream(Enum):
     COMPACT_COUNTER_WRITE = "compact_counter_write"
     COMPACT_BMT_READ = "compact_bmt_read"
     COMPACT_BMT_WRITE = "compact_bmt_write"
+    #: Write-ahead metadata-log appends/commits of the crash-recoverable
+    #: engine (docs/ARCHITECTURE.md § Crash consistency & recovery).
+    METADATA_LOG_WRITE = "metadata_log_write"
 
 
 #: Streams that carry security metadata rather than program data.

@@ -65,6 +65,18 @@ class MacStore:
             data, self.stored_tag(sector_index), address=address, counter=counter
         )
 
+    def load_tag(self, sector_index: int, tag: bytes) -> None:
+        """Install a stored tag directly (crash recovery).
+
+        Unlike :meth:`update` this does not recompute anything: the tag
+        comes verbatim from a persistent MAC region being rebuilt after
+        a crash, and unlike :meth:`corrupt` it is an honest engine
+        operation, not an attacker primitive.
+        """
+        if len(tag) != self.algorithm.tag_bytes:
+            raise ValueError("tag length mismatch")
+        self._tags[sector_index] = tag
+
     def corrupt(self, sector_index: int, tag: bytes) -> None:
         """Attacker primitive: replace a stored tag."""
         if len(tag) != self.algorithm.tag_bytes:

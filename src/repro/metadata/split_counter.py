@@ -138,3 +138,26 @@ class SplitCounterStore:
     def touched_sectors(self) -> int:
         """Number of sectors with a nonzero minor (for statistics)."""
         return len(self._minors)
+
+    def load(self, sector_index: int, major: int, minor: int) -> None:
+        """Install a (major, minor) pair directly (crash recovery).
+
+        Rebuilding counter state from a persistent image must restore
+        exact values rather than replay increments; zero values restore
+        the sparse default representation.
+        """
+        if sector_index < 0:
+            raise ValueError("sector index must be non-negative")
+        if not 0 <= minor < self.config.minor_limit:
+            raise ValueError(f"minor {minor} out of range")
+        if not 0 <= major < (1 << self.config.major_bits):
+            raise ValueError(f"major {major} out of range")
+        group = self.group_of(sector_index)
+        if minor:
+            self._minors[sector_index] = minor
+        else:
+            self._minors.pop(sector_index, None)
+        if major:
+            self._majors[group] = major
+        else:
+            self._majors.pop(group, None)

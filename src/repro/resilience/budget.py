@@ -158,6 +158,11 @@ class BudgetGuard:
         Raises :class:`UnitTimeoutError` inside the unit when the bound
         trips. Off the Unix main thread the context is a no-op — the
         budget degrades to advisory rather than failing the run.
+
+        Any pre-existing handler *and* itimer are saved and restored on
+        exit: a stacked (outer) guard's remaining delay keeps ticking
+        minus the time this guard consumed, so nested guards compose
+        instead of the inner one silently disarming the outer.
         """
         timeout = self.budget.unit_timeout_s
         if timeout is None or not _alarm_supported():
@@ -171,9 +176,21 @@ class BudgetGuard:
             )
 
         previous = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
+        outer_delay, _outer_interval = signal.setitimer(
+            signal.ITIMER_REAL, timeout
+        )
+        entered = self.clock()
         try:
             yield
         finally:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
+            if outer_delay > 0.0:
+                # The outer timer was due at entered + outer_delay; if
+                # that moment passed while we ran, fire it (almost)
+                # immediately rather than dropping it. Re-armed only
+                # after the outer handler is back in place.
+                remaining = max(
+                    1e-6, outer_delay - (self.clock() - entered)
+                )
+                signal.setitimer(signal.ITIMER_REAL, remaining)

@@ -54,6 +54,7 @@ class EngineStats:
     compact_disable_events: int = 0
     minor_overflows: int = 0
     reencrypted_sectors: int = 0
+    wal_appends: int = 0
 
 
 @dataclass(frozen=True)

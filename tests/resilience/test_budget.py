@@ -149,3 +149,56 @@ class TestUnitTimeout:
         assert not guard.preemptive_timeout
         with guard.unit_timeout():
             pass
+
+
+class TestStackedGuards:
+    """Nested unit_timeout contexts must compose, not disarm each other."""
+
+    def test_inner_guard_restores_outer_alarm(self):
+        import signal
+
+        outer = BudgetGuard(ResourceBudget(unit_timeout_s=0.2))
+        inner = BudgetGuard(ResourceBudget(unit_timeout_s=5.0))
+        with pytest.raises(UnitTimeoutError) as excinfo:
+            with outer.unit_timeout():
+                with inner.unit_timeout():
+                    time.sleep(0.02)
+                # The outer 0.2s timer must still be ticking here.
+                delay, _interval = signal.getitimer(signal.ITIMER_REAL)
+                assert 0.0 < delay <= 0.2
+                time.sleep(5.0)
+        assert excinfo.value.timeout_s == 0.2
+
+    def test_expired_outer_deadline_fires_after_inner_exit(self):
+        # The inner guard outlives the outer deadline: on exit the outer
+        # alarm is re-armed (almost) immediately instead of dropped.
+        outer = BudgetGuard(ResourceBudget(unit_timeout_s=0.05))
+        inner = BudgetGuard(ResourceBudget(unit_timeout_s=5.0))
+        with pytest.raises(UnitTimeoutError) as excinfo:
+            with outer.unit_timeout():
+                with inner.unit_timeout():
+                    time.sleep(0.1)  # sails past the outer deadline
+                time.sleep(1.0)  # re-armed outer alarm lands here
+        assert excinfo.value.timeout_s == 0.05
+
+    def test_preexisting_itimer_survives_a_guard(self):
+        import signal
+
+        fired = []
+
+        def handler(signum, frame):
+            fired.append(signum)
+
+        previous = signal.signal(signal.SIGALRM, handler)
+        signal.setitimer(signal.ITIMER_REAL, 30.0)
+        try:
+            guard = BudgetGuard(ResourceBudget(unit_timeout_s=5.0))
+            with guard.unit_timeout():
+                pass
+            delay, _interval = signal.getitimer(signal.ITIMER_REAL)
+            assert 0.0 < delay <= 30.0
+            assert signal.getsignal(signal.SIGALRM) is handler
+            assert not fired
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,259 @@
+"""The crash-recoverable secure memory: WAL, persist ordering, recovery.
+
+Covers the functional engine's durable contract directly (the
+systematic site × mode sweep lives in ``tests/faults``): honest
+round-trips, recovery from clean and crashed images, torn-log rollback,
+WAL redo, detection of corrupted persistent state, and the two
+hypothesis properties the issue names — recovery is idempotent, and a
+crash injected *during* recovery still lands recovered-or-detected.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import (
+    ConfigurationError,
+    CrashError,
+    RecoveryError,
+)
+from repro.metadata.split_counter import SplitCounterConfig
+from repro.secure.recoverable import (
+    FORMAT_SITE,
+    RECOVERY_SITES,
+    UPDATE_SITES,
+    RecoverableSecureMemory,
+    _decode_entries,
+    _encode_entries,
+)
+
+CFG = SplitCounterConfig(minor_bits=2, sectors_per_group=4)
+SIZE = 512
+
+
+def build(**kwargs):
+    kwargs.setdefault("counter_config", CFG)
+    return RecoverableSecureMemory(SIZE, **kwargs)
+
+
+def recover(image, **kwargs):
+    kwargs.setdefault("counter_config", CFG)
+    return RecoverableSecureMemory.recover(image, size_bytes=SIZE, **kwargs)
+
+
+def sector(tag: int) -> bytes:
+    return bytes([tag]) * 32
+
+
+class TestHonestPath:
+    def test_write_read_roundtrip(self):
+        memory = build()
+        memory.write(0, sector(1))
+        memory.write(64, sector(2))
+        assert memory.read(0, 32) == sector(1)
+        assert memory.read(64, 32) == sector(2)
+        assert memory.committed_seq == 2
+
+    def test_unwritten_reads_as_zeros(self):
+        memory = build()
+        assert memory.read(96, 32) == b"\x00" * 32
+
+    def test_checkpoint_truncates_wal(self):
+        memory = build()
+        memory.write(0, sector(3))
+        assert memory.wal_tail > 0
+        digest = memory.state_digest()
+        memory.checkpoint()
+        assert memory.wal_tail == 0
+        # Log reclamation never changes the logical durable state.
+        assert memory.state_digest() == digest
+
+    def test_digest_excludes_wal_position(self):
+        # Same transactions, different checkpoint history -> same digest.
+        a = build()
+        b = build()
+        for memory in (a, b):
+            memory.write(0, sector(4))
+        a.checkpoint()
+        a.write(32, sector(5))
+        b.write(32, sector(5))
+        assert a.state_digest() == b.state_digest()
+
+    def test_wal_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build(wal_bytes=16)
+
+    def test_site_constants_are_disjoint(self):
+        sites = set(UPDATE_SITES) | set(RECOVERY_SITES) | {FORMAT_SITE}
+        assert len(sites) == len(UPDATE_SITES) + len(RECOVERY_SITES) + 1
+
+
+class TestWalCodec:
+    def test_entry_roundtrip(self):
+        entries = [(0, 0, b"\xaa" * 32), (3, 1234, b"\x01\x02"), (5, 7, b"")]
+        assert _decode_entries(_encode_entries(entries)) == entries
+
+    def test_truncated_entry_detected(self):
+        payload = _encode_entries([(1, 64, b"\xbb" * 16)])
+        with pytest.raises(ValueError):
+            _decode_entries(payload[:-1])
+
+
+def _kill_at(region, site):
+    """Install a hook tearing *site* with nothing persisted."""
+
+    def hook(s, seq, pending):
+        if s == site:
+            region.crash(())
+            raise CrashError(f"test kill at {s}", site=s, barrier_seq=seq)
+
+    region.install_barrier_hook(hook)
+
+
+class TestRecovery:
+    def test_recover_clean_image_is_identity(self):
+        memory = build()
+        memory.write(0, sector(6))
+        memory.write(32, sector(7))
+        restored = recover(memory.nvm.persistent_image())
+        assert restored.committed_seq == memory.committed_seq
+        assert restored.state_digest() == memory.state_digest()
+        assert restored.read(0, 32) == sector(6)
+        assert restored.read(32, 32) == sector(7)
+
+    def test_torn_wal_append_rolls_back(self):
+        memory = build()
+        memory.write(0, sector(8))
+        digest = memory.state_digest()
+        _kill_at(memory.nvm, "write:wal-append")
+        with pytest.raises(CrashError):
+            memory.write(32, sector(9))
+        restored = recover(memory.nvm.persistent_image())
+        assert restored.committed_seq == 1
+        assert restored.state_digest() == digest
+        assert restored.read(32, 32) == b"\x00" * 32
+
+    def test_durable_wal_record_is_redone(self):
+        reference = build()
+        reference.write(0, sector(10))
+        reference.write(32, sector(11))
+
+        memory = build()
+        memory.write(0, sector(10))
+        _kill_at(memory.nvm, "write:home-apply")
+        with pytest.raises(CrashError):
+            memory.write(32, sector(11))
+        restored = recover(memory.nvm.persistent_image())
+        assert restored.committed_seq == 2
+        assert restored.state_digest() == reference.state_digest()
+        assert restored.read(32, 32) == sector(11)
+
+    def test_unprovisioned_image_detected(self):
+        memory = build()
+        region = type(memory.nvm)(memory.nvm_bytes)
+        with pytest.raises(RecoveryError):
+            recover(region)
+
+    def test_corrupt_persisted_node_detected(self):
+        memory = build()
+        memory.write(0, sector(12))
+        image = memory.nvm.persistent_image()
+        addr = memory._node_addr(0, 0)
+        node = bytearray(image.read(addr, memory.tree.hash_bytes))
+        node[0] ^= 0xFF
+        image.persistent.write(addr, bytes(node))
+        image.volatile.write(addr, bytes(node))
+        with pytest.raises(RecoveryError):
+            recover(image)
+
+    def test_corrupt_persisted_ciphertext_detected_by_scrub(self):
+        memory = build()
+        memory.write(0, sector(13))
+        image = memory.nvm.persistent_image()
+        data = bytearray(image.read(0, 32))
+        data[5] ^= 0x40
+        image.persistent.write(0, bytes(data))
+        image.volatile.write(0, bytes(data))
+        with pytest.raises(RecoveryError):
+            recover(image)
+
+    def test_wrong_geometry_rejected(self):
+        memory = build()
+        with pytest.raises(RecoveryError):
+            RecoverableSecureMemory.recover(
+                memory.nvm.persistent_image(),
+                size_bytes=SIZE * 2,
+                counter_config=CFG,
+            )
+
+
+writes_strategy = st.lists(
+    st.tuples(st.integers(0, SIZE // 32 - 1), st.integers(1, 255)),
+    min_size=1,
+    max_size=10,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=writes_strategy)
+def test_recovery_is_idempotent(ops):
+    """Recovering an already-recovered image changes nothing."""
+    memory = build()
+    for idx, tag in ops:
+        memory.write(idx * 32, sector(tag))
+    first = recover(memory.nvm.persistent_image())
+    second = recover(first.nvm.persistent_image())
+    assert second.committed_seq == first.committed_seq
+    assert second.state_digest() == first.state_digest()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=writes_strategy,
+    site=st.sampled_from(RECOVERY_SITES),
+    keep_mask=st.integers(0, 2**12 - 1),
+    torn=st.booleans(),
+)
+def test_crash_during_recovery_never_silent(ops, site, keep_mask, torn):
+    """A kill mid-redo (any persisted subset) recovers or is detected."""
+    memory = build()
+    for idx, tag in ops[:-1]:
+        memory.write(idx * 32, sector(tag))
+    # Tear the last write after its WAL append: recovery has redo work.
+    _kill_at(memory.nvm, "write:home-apply")
+    last_idx, last_tag = ops[-1]
+    with pytest.raises(CrashError):
+        memory.write(last_idx * 32, sector(last_tag))
+
+    clean = recover(memory.nvm.persistent_image())
+    expected_digest = clean.state_digest()
+    expected_committed = clean.committed_seq
+
+    region = memory.nvm.persistent_image()
+
+    def kill(s, seq, pending):
+        if s != site:
+            return
+        persisted = []
+        for i, (address, data) in enumerate(pending):
+            if not (keep_mask >> i) & 1:
+                continue
+            if torn and len(data) > 1:
+                data = data[: len(data) // 2]
+            persisted.append((address, data))
+        region.crash(persisted)
+        raise CrashError(f"recovery kill at {s}", site=s, barrier_seq=seq)
+
+    region.install_barrier_hook(kill)
+    try:
+        restored = recover(region)
+    except CrashError:
+        region.install_barrier_hook(None)
+        try:
+            restored = recover(region.persistent_image())
+        except RecoveryError:
+            return  # torn, but detected -- never silent
+    else:
+        region.install_barrier_hook(None)
+    assert restored.committed_seq == expected_committed
+    assert restored.state_digest() == expected_digest
