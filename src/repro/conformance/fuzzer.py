@@ -15,6 +15,11 @@ mechanisms most likely to disagree across engines:
   value cache entirely;
 * ``value-hot`` — a two-value pool, maximizing value-cache hits and
   MAC avoidance;
+* ``value-bound`` — sector images built so each 128-bit unit carries
+  exactly 2, 3, or 4 hot words, straddling the value cache's
+  ``hits_required = 3``-of-4 verification bound (Eq. 1); hot words are
+  perturbed only in their low ``mask_bits`` so masked-key matching is
+  load-bearing, which pins down the batch key-extraction path;
 * ``sweep`` and ``uniform`` — regular and mixed baselines.
 
 Failures are shrunk with :func:`shrink`, a generic ddmin over the event
@@ -48,6 +53,7 @@ PATTERNS = (
     "write-storm",
     "value-thrash",
     "value-hot",
+    "value-bound",
     "sweep",
 )
 
@@ -170,6 +176,51 @@ def _gen_value_hot(rng: random.Random, name: str) -> MemoryEventLog:
     return _finish(name, events, rng.randint(0, 3))
 
 
+def _gen_value_bound(rng: random.Random, name: str) -> MemoryEventLog:
+    """Images that straddle the value cache's x-of-n verification bound.
+
+    The paper's cache verifies a 128-bit unit when at least 3 of its 4
+    words hit (Table II / Eq. 1). Each generated image gives every unit
+    exactly 2 (one short — must fall back to the MAC), 3 (barely
+    verifiable), or 4 hot words, and every hot word is re-randomized in
+    its low ``mask_bits`` so only the masked 28-bit key may match. A
+    batch path that probes units with the wrong key mask, skips the
+    per-unit short-circuit, or observes values out of order lands on
+    the other side of the bound and diverges in ``mac_fetches_avoided``
+    / ``value_verified_fills`` immediately.
+    """
+    partitions = _partitions(rng)
+    base = rng.randrange(0, 4096)
+    sectors = [base + i for i in range(rng.randint(4, 12))]
+    hot = [rng.getrandbits(32) for _ in range(4)]
+
+    def image(hot_per_unit: int) -> bytes:
+        words: List[int] = []
+        for _unit in range(2):
+            picks = set(rng.sample(range(4), hot_per_unit))
+            for slot in range(4):
+                if slot in picks:
+                    word = (hot[rng.randrange(len(hot))] & ~0xF) | (
+                        rng.getrandbits(4)
+                    )
+                else:
+                    word = rng.getrandbits(32)
+                words.append(word)
+        return b"".join(word.to_bytes(4, "little") for word in words)
+
+    events = []
+    # Writebacks seed the hot words (observe + write-verifiable probes);
+    # fills then test them against the bound from both sides.
+    for _ in range(rng.randint(100, 220)):
+        kind = EventKind.FILL if rng.random() < 0.65 else EventKind.WRITEBACK
+        hot_per_unit = rng.choice((2, 3, 3, 4))
+        events.append(
+            MemoryEvent(kind, rng.choice(partitions), rng.choice(sectors),
+                        image(hot_per_unit))
+        )
+    return _finish(name, events, rng.randint(0, 3))
+
+
 def _gen_sweep(rng: random.Random, name: str) -> MemoryEventLog:
     partitions = _partitions(rng)
     base = rng.randrange(0, 4096)
@@ -195,6 +246,7 @@ _GENERATORS: Dict[str, Callable[[random.Random, str], MemoryEventLog]] = {
     "write-storm": _gen_write_storm,
     "value-thrash": _gen_value_thrash,
     "value-hot": _gen_value_hot,
+    "value-bound": _gen_value_bound,
     "sweep": _gen_sweep,
 }
 

@@ -202,6 +202,30 @@ class ColumnValues(Sequence):
         for offset, length in zip(offsets, lengths):
             yield None if offset < 0 else payload[offset:offset + length]
 
+    def u32_matrix(self):
+        """Rows as little-endian uint32 words, or ``None``.
+
+        Returns ``(words, present)`` where ``words`` is an ``(n, 8)``
+        uint32 matrix (absent rows are zero-filled and flagged False in
+        ``present``) — the input the batched value-cache probe masks in
+        one vectorized pass. ``None`` when the payload holds any
+        non-32-byte value; callers then fall back to the scalar
+        per-event decode, which preserves exact error semantics.
+        """
+        cols = self._cols
+        if not cols.fixed32:
+            return None
+        offsets = cols.value_offset[self._rows]
+        present = offsets >= 0
+        if not present.any():
+            return None
+        words_all = np.frombuffer(
+            cols.payload, dtype="<u4"
+        ).reshape(-1, 8)
+        words = np.zeros((len(self._rows), 8), dtype=np.uint32)
+        words[present] = words_all[offsets[present] // 32]
+        return words, present
+
 
 class ColumnStore:
     """Growable structure-of-arrays event storage.

@@ -577,20 +577,33 @@ def _columnar_serial_replay(
                 if not writebacks.size:
                     continue
                 engine = engine_for(int(partition[writebacks[0]]))
-                sectors = cols.sector[writebacks].tolist()
-                for _ in range(counter_warmup_passes):
-                    engine.warm_counters_batch(sectors)
+                # Batch-native engines take the sector column directly
+                # (and collapse the passes internally when provably
+                # order-free); the scalar fallback gets plain ints.
+                if engine.batch_native:
+                    engine.warm_counters_batch(
+                        cols.sector[writebacks], counter_warmup_passes
+                    )
+                else:
+                    engine.warm_counters_batch(
+                        cols.sector[writebacks].tolist(),
+                        counter_warmup_passes,
+                    )
 
     with obs.phase("replay_events", trace=log.trace_name):
         for rows in blocks:
             engine = engine_for(int(partition[rows[0]]))
+            batch_native = engine.batch_native
             kinds = kind[rows]
             cuts = np.flatnonzero(np.diff(kinds)) + 1
             bounds = [0, *cuts.tolist(), rows.size]
             for start, end in zip(bounds, bounds[1:]):
                 run = rows[start:end]
                 count = end - start
-                sectors = cols.sector[run].tolist()
+                if batch_native:
+                    sectors = cols.sector[run]
+                else:
+                    sectors = cols.sector[run].tolist()
                 values = cols.values_for(run)
                 if kinds[start] == FILL_CODE:
                     traffic.record(

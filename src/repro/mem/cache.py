@@ -166,6 +166,17 @@ class SectoredCache:
             self._m_hits = None
             self._m_misses = None
             self._m_evictions = None
+        # Hot-path precomputation for :meth:`access_run_raw`. The XOR
+        # fold in :meth:`_set_index` is pure in the address, so repeat
+        # lookups hit a memo dict (bounded by the distinct lines the
+        # metadata address space ever touches); popcounts of sector
+        # masks come from a table when lines are narrow enough (the
+        # 128 B / 32 B metadata lines have only 4 sectors).
+        self._set_memo: Dict[int, int] = {}
+        self._pc_table: Optional[List[int]] = (
+            [bin(m).count("1") for m in range(1 << config.sectors_per_line)]
+            if config.sectors_per_line <= 16 else None
+        )
 
     def _set_index(self, line_addr: int) -> int:
         """XOR-folded set index.
@@ -255,6 +266,100 @@ class SectoredCache:
 
         return AccessResult(hit_mask=hit_mask, miss_mask=miss_mask, evictions=evictions)
 
+    def access_run(
+        self, line_addr: int, sector_mask: int, write: bool, count: int
+    ) -> AccessResult:
+        """*count* consecutive identical accesses, compressed to one.
+
+        State- and stats-identical to calling :meth:`access` *count*
+        times with the same arguments: after the first access the line
+        is resident with every masked sector valid (and dirty, on a
+        write), so each repeat is a full hit that moves the line to the
+        MRU slot it already occupies and evicts nothing. The batch
+        replay path leans on this to collapse the per-event metadata
+        lookups of a same-location run into one real access plus bulk
+        hit accounting.
+        """
+        if count < 1:
+            raise ValueError("access_run needs count >= 1")
+        result = self.access(line_addr, sector_mask, write)
+        if count > 1:
+            repeats = count - 1
+            hits = repeats * popcount(
+                self._normalize_mask(sector_mask)
+            )
+            self.stats.accesses += repeats
+            self.stats.sector_hits += hits
+            if self._m_hits is not None and hits:
+                self._m_hits.inc(hits)
+        return result
+
+    def access_run_raw(
+        self, line_addr: int, sector_mask: int, write: bool, count: int
+    ):
+        """:meth:`access_run` without the :class:`AccessResult` wrapper.
+
+        The batch replay layer calls this once per same-location
+        sub-run; at that rate the dataclass allocation and the popcount
+        properties dominate, so the raw form returns a plain
+        ``(miss_mask, miss_sector_count, evictions)`` tuple with an
+        empty-tuple placeholder when nothing dirty left the cache.
+        State and statistics transitions are identical to
+        :meth:`access_run`.
+        """
+        mask = self._normalize_mask(sector_mask)
+        stats = self.stats
+        stats.accesses += count
+        memo = self._set_memo
+        index = memo.get(line_addr)
+        if index is None:
+            index = self._set_index(line_addr)
+            memo[line_addr] = index
+        set_ = self._sets[index]
+        evictions = ()
+
+        line = set_.get(line_addr)
+        if line is None:
+            if len(set_) >= self.config.ways:
+                victim_addr, victim = set_.popitem(last=False)
+                stats.line_evictions += 1
+                if self._m_evictions is not None:
+                    self._m_evictions.inc()
+                if victim.dirty_mask:
+                    stats.dirty_evictions += 1
+                    evictions = (Eviction(victim_addr, victim.dirty_mask),)
+            line = _Line()
+            set_[line_addr] = line
+        else:
+            set_.move_to_end(line_addr)
+
+        valid = line.valid_mask
+        hit_mask = mask & valid
+        miss_mask = mask & ~valid
+        pc = self._pc_table
+        if pc is not None:
+            hits = pc[hit_mask]
+            if count > 1:
+                hits += (count - 1) * pc[mask]
+            misses = pc[miss_mask]
+        else:
+            hits = popcount(hit_mask)
+            if count > 1:
+                hits += (count - 1) * popcount(mask)
+            misses = popcount(miss_mask)
+        stats.sector_hits += hits
+        stats.sector_misses += misses
+        if self._m_hits is not None:
+            if hits:
+                self._m_hits.inc(hits)
+            if misses:
+                self._m_misses.inc(misses)
+
+        line.valid_mask |= mask
+        if write:
+            line.dirty_mask |= mask
+        return miss_mask, misses, evictions
+
     def fill(self, line_addr: int, sector_mask: int) -> AccessResult:
         """Install sectors without counting a demand access (prefetch/fill)."""
         saved = self.stats.accesses
@@ -300,3 +405,23 @@ class SectoredCache:
             for addr, line in set_.items():
                 out[addr] = line.valid_mask
         return out
+
+    def state_summary(self):
+        """Canonical full-state value for differential comparison.
+
+        Captures everything future behavior depends on: per-set LRU
+        order (insertion order of the OrderedDicts), per-line valid and
+        dirty masks, and the aggregate statistics. Two caches with equal
+        summaries are behaviorally indistinguishable from here on.
+        """
+        sets = [
+            [(addr, line.valid_mask, line.dirty_mask)
+             for addr, line in set_.items()]
+            for set_ in self._sets
+        ]
+        st = self.stats
+        return (
+            sets,
+            (st.accesses, st.sector_hits, st.sector_misses,
+             st.line_evictions, st.dirty_evictions),
+        )

@@ -325,6 +325,49 @@ class BmtTraversal:
             )
             del line
 
+    def update_leaves(self, leaf_indices) -> None:
+        """Lazy-update a run of leaves, coalescing shared ancestors.
+
+        Consecutive leaves under the same level-1 parent repeat the same
+        walk: once the parent is resident and dirty, every further
+        update in the run is one full-hit verify (depth 0) plus one
+        full-hit dirty touch. Those pairs are replayed as two direct
+        cache accesses — state-, traffic-, and stats-identical to
+        :meth:`update_leaf`, which is why the eviction drains can route
+        through here unconditionally. A probe guards the compressed
+        form: if an interleaved eviction pushed the parent out, the
+        full walk runs again.
+        """
+        if self._prof is not None or not self.lazy_update:
+            # Span-detail profiling wants one span per update; eager
+            # mode rewrites whole paths and gains nothing from
+            # coalescing. Both take the plain loop.
+            for leaf_index in leaf_indices:
+                self.update_leaf(leaf_index)
+            return
+        if self.geometry.root_level == 1:
+            return  # every update_leaf is a no-op
+        cache_access = self.cache.access
+        prev_line = -1
+        prev_mask = 0
+        for leaf_index in leaf_indices:
+            addr = self.geometry.node_address(leaf_index, 1)
+            line, mask = self._line_and_mask(addr)
+            if line == prev_line and mask == prev_mask:
+                _hit, miss = self.cache.probe(line, mask)
+                if not miss:
+                    # Parent fully resident: the verify is a single
+                    # full-hit access that evicts nothing, then the
+                    # dirty touch hits the same line.
+                    cache_access(line, mask, write=False)
+                    if self._h_verify_depth is not None:
+                        self._h_verify_depth.record(0)
+                    cache_access(line, mask, write=True)
+                    continue
+            self._update_leaf(leaf_index)
+            prev_line = line
+            prev_mask = mask
+
     def flush(self) -> None:
         """Drain dirty nodes (end of kernel), accounting their writes.
 

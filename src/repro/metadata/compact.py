@@ -182,6 +182,112 @@ class CompactCounterState:
 
         return CounterAccessPlan(route=CounterRoute.COMPACT_ONLY)
 
+    # -- batch replay support -------------------------------------------------
+
+    def plan_read_codes(self, sector_indices):
+        """Vectorized :meth:`plan_read` route codes for a batch (pure).
+
+        Returns ``None`` when every access routes ``COMPACT_ONLY`` (the
+        pristine-state fast path), otherwise a list of route codes:
+        0 = compact only, 1 = compact then original, 2 = original only.
+        """
+        if (
+            not self._writes
+            and not self._forced_original
+            and not self._disabled_blocks
+        ):
+            return None
+        adaptive = self.config.adaptive
+        disabled = self._disabled_blocks
+        forced = self._forced_original
+        writes = self._writes
+        get = writes.get
+        sat = self.config.saturation_value
+        per_block = self.config.counters_per_block
+        codes = []
+        append = codes.append
+        for s in sector_indices:
+            if adaptive and s // per_block in disabled:
+                append(2)
+            elif s in forced or get(s, 0) >= sat:
+                append(1)
+            else:
+                append(0)
+        return codes
+
+    def plan_write_code(self, sector_index: int) -> int:
+        """Allocation-free :meth:`plan_write` for the batch replay path.
+
+        Applies exactly the same state transitions and returns the route
+        code (0 = compact only, 1 = compact then original, 2 = original
+        only) plus 8 when this write disables the block.
+        """
+        block = sector_index // self.config.counters_per_block
+        writes = self._writes
+        w = writes.get(sector_index, 0)
+        already_saturated = (
+            sector_index in self._forced_original
+            or w >= self.config.saturation_value
+        )
+        disabled = self.config.adaptive and block in self._disabled_blocks
+        writes[sector_index] = w = w + 1
+        if disabled:
+            return 2
+        if already_saturated:
+            return 1
+        if w >= self.config.saturation_value:
+            self.propagation_events += 1
+            saturated = self._saturated_in_block.get(block, 0) + 1
+            self._saturated_in_block[block] = saturated
+            if (
+                self.config.adaptive
+                and saturated >= self.config.disable_threshold
+            ):
+                self._disabled_blocks.add(block)
+                self.disable_events += 1
+                return 1 + 8
+            return 1
+        return 0
+
+    def bulk_writes_safe(self, sectors, counts) -> bool:
+        """True when ``counts[i]`` writes of ``sectors[i]`` trigger no
+        saturation bookkeeping — the precondition for :meth:`bulk_writes`.
+
+        A sector is bulk-safe when it is already routed to the originals
+        (forced or saturated — further writes only bump the ground-truth
+        count) or when the added writes stay strictly below the
+        saturation code. Disabled blocks are inherently safe: writes
+        there mutate nothing but the count.
+        """
+        writes = self._writes
+        get = writes.get
+        sat = self.config.saturation_value
+        forced = self._forced_original
+        for s, c in zip(sectors, counts):
+            w = get(s, 0)
+            if s not in forced and w < sat and w + c >= sat:
+                return False
+        return True
+
+    def bulk_writes(self, sectors, counts) -> None:
+        """Apply per-sector write totals checked by
+        :meth:`bulk_writes_safe` (no saturation crossing, so order-free)."""
+        writes = self._writes
+        get = writes.get
+        for s, c in zip(sectors, counts):
+            writes[s] = get(s, 0) + c
+
+    def state_summary(self):
+        """Canonical full-state value for differential comparison."""
+        return (
+            sorted(self._writes.items()),
+            sorted(self._saturated_in_block.items()),
+            sorted(self._disabled_blocks),
+            sorted(self._forced_original),
+            self.disable_events,
+            self.propagation_events,
+        )
+
     def force_original(self, sector_indices) -> None:
         """Redirect sectors to the originals after a major-counter bump.
 

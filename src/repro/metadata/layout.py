@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Tuple
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
 from repro.metadata.bmt import BmtGeometry
 
@@ -94,6 +96,23 @@ class MetadataLayout:
             mask = 1 << ((byte_addr % self.line_bytes) // self.sector_bytes)
         return line, mask
 
+    def counter_locations(
+        self, data_sectors: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`counter_location` over an int64 array."""
+        self._check_array(data_sectors)
+        idx = data_sectors // self.sectors_per_counter_sector
+        byte_addr = idx * self.sector_bytes
+        lines = byte_addr - (byte_addr % self.line_bytes)
+        if self.design is GranularityDesign.BLOCK_128:
+            full = (1 << (self.line_bytes // self.sector_bytes)) - 1
+            masks = np.full(lines.shape, full, dtype=np.int64)
+        else:
+            masks = np.left_shift(
+                1, (byte_addr % self.line_bytes) // self.sector_bytes
+            )
+        return lines, masks
+
     # -- MACs ---------------------------------------------------------------
 
     @property
@@ -117,6 +136,19 @@ class MetadataLayout:
         line = byte_addr - (byte_addr % self.line_bytes)
         mask = 1 << ((byte_addr % self.line_bytes) // self.sector_bytes)
         return line, mask
+
+    def mac_locations(
+        self, data_sectors: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`mac_location` over an int64 array."""
+        self._check_array(data_sectors)
+        idx = data_sectors // self.macs_per_sector
+        byte_addr = idx * self.sector_bytes
+        lines = byte_addr - (byte_addr % self.line_bytes)
+        masks = np.left_shift(
+            1, (byte_addr % self.line_bytes) // self.sector_bytes
+        )
+        return lines, masks
 
     # -- BMT ------------------------------------------------------------------
 
@@ -148,6 +180,14 @@ class MetadataLayout:
             return counter_sector // (self.line_bytes // self.sector_bytes)
         return counter_sector
 
+    def bmt_leaf_indices(self, data_sectors: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`bmt_leaf_index` over an int64 array."""
+        self._check_array(data_sectors)
+        counter_sector = data_sectors // self.sectors_per_counter_sector
+        if self.design is GranularityDesign.BLOCK_128:
+            return counter_sector // (self.line_bytes // self.sector_bytes)
+        return counter_sector
+
     # -- storage summaries ------------------------------------------------------
 
     def counter_storage_bytes(self) -> int:
@@ -163,6 +203,18 @@ class MetadataLayout:
         if not 0 <= data_sector < self.data_sectors:
             raise ValueError(
                 f"data sector {data_sector} outside partition of "
+                f"{self.data_sectors} sectors"
+            )
+
+    def _check_array(self, data_sectors: np.ndarray) -> None:
+        if data_sectors.size == 0:
+            return
+        lo = int(data_sectors.min())
+        hi = int(data_sectors.max())
+        if lo < 0 or hi >= self.data_sectors:
+            bad = lo if lo < 0 else hi
+            raise ValueError(
+                f"data sector {bad} outside partition of "
                 f"{self.data_sectors} sectors"
             )
 

@@ -135,6 +135,72 @@ class SplitCounterStore:
             reencrypted_sectors=affected,
         )
 
+    def increment_fast(self, sector_index: int):
+        """Allocation-free :meth:`increment` for the batch replay path.
+
+        State transitions are identical; instead of an
+        :class:`IncrementOutcome` it returns ``None`` on the common
+        no-overflow path and the re-encrypted sector tuple on minor
+        overflow. The caller guarantees ``sector_index >= 0`` (the
+        batch layer bounds-checks whole runs up front).
+        """
+        minors = self._minors
+        minor = minors.get(sector_index, 0) + 1
+        if minor < self.config.minor_limit:
+            minors[sector_index] = minor
+            return None
+        group = sector_index // self.config.sectors_per_group
+        major = self._majors.get(group, 0) + 1
+        if major >= (1 << self.config.major_bits):
+            raise CounterOverflowError(
+                f"major counter exhausted for group {group}"
+            )
+        self._majors[group] = major
+        self.overflow_events += 1
+        base = group * self.config.sectors_per_group
+        affected = tuple(range(base, base + self.config.sectors_per_group))
+        for s in affected:
+            minors.pop(s, None)
+        minors[sector_index] = 1
+        return affected
+
+    def bulk_increment_safe(self, sectors, counts) -> bool:
+        """True when ``counts[i]`` increments of ``sectors[i]`` cannot
+        overflow any minor — the precondition for :meth:`bulk_increment`.
+
+        Callers pass each sector once with its total increment count;
+        under that precondition the final state is independent of the
+        order the scalar increments would have interleaved in.
+        """
+        minors = self._minors
+        get = minors.get
+        limit = self.config.minor_limit
+        for s, c in zip(sectors, counts):
+            if get(s, 0) + c >= limit:
+                return False
+        return True
+
+    def bulk_increment(self, sectors, counts) -> None:
+        """Apply per-sector increment totals checked by
+        :meth:`bulk_increment_safe` (overflow-free, so order-free)."""
+        minors = self._minors
+        get = minors.get
+        for s, c in zip(sectors, counts):
+            minors[s] = get(s, 0) + c
+
+    def state_summary(self):
+        """Canonical full-state value for differential comparison.
+
+        Plain dicts are canonicalized by sorting: batch replay may
+        insert keys in unique-sector order rather than event order, and
+        key insertion order carries no counter semantics.
+        """
+        return (
+            sorted(self._minors.items()),
+            sorted(self._majors.items()),
+            self.overflow_events,
+        )
+
     def touched_sectors(self) -> int:
         """Number of sectors with a nonzero minor (for statistics)."""
         return len(self._minors)

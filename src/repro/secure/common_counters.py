@@ -19,11 +19,17 @@ is untouched by this design.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import List, Optional, Set
+
+import numpy as np
 
 from repro.mem.traffic import TrafficCounter
 from repro.metadata.layout import GranularityDesign
-from repro.secure.engine import MetadataCacheConfig, MetadataEngine
+from repro.secure.engine import (
+    MetadataCacheConfig,
+    MetadataEngine,
+    PartitionEngine,
+)
 
 
 class CommonCountersEngine(MetadataEngine):
@@ -101,3 +107,76 @@ class CommonCountersEngine(MetadataEngine):
         self._written_regions.add(self._region_of(sector_index))
         self.counter_write(sector_index)
         self.mac_write(sector_index)
+
+    # -- batch hooks (columnar path) --------------------------------------
+    #
+    # The common-region test is a pure function of the written-region
+    # set, which only writebacks and warmup mutate — so within a fill
+    # run every event sees the same set and the test vectorizes over
+    # the unique regions. Within a writeback run no event reads the
+    # set, so the region demotions hoist to one bulk update.
+
+    batch_native = True
+
+    def _common_mask(self, regions: np.ndarray) -> Optional[np.ndarray]:
+        """Per-event common-counter verdicts, or None when none can be."""
+        if self.init_written_fraction >= 1.0:
+            return None  # every region starts demoted
+        uniq, inverse = np.unique(regions, return_inverse=True)
+        h = (uniq * np.int64(2654435761)
+             + np.int64(self.partition_id * 97)) & np.int64(0xFFFFFFFF)
+        init_written = (h / float(2**32)) < self.init_written_fraction
+        written = self._written_regions
+        never_written = np.fromiter(
+            (r not in written for r in uniq.tolist()),
+            dtype=bool,
+            count=int(uniq.size),
+        )
+        return (never_written & ~init_written)[inverse]
+
+    def on_fill_batch(self, sector_indices, values) -> None:
+        sectors = np.asarray(sector_indices, dtype=np.int64)
+        n = int(sectors.size)
+        self.stats.fills += n
+        common = (
+            self._common_mask(sectors // self.region_sectors) if n else None
+        )
+        if common is None:
+            self._batch_counter_reads(sectors)
+        else:
+            n_common = int(common.sum())
+            self.stats.counter_onchip_hits += n_common
+            if n_common < n:
+                self._batch_counter_reads(sectors[~common])
+        self._batch_mac_reads(sectors)
+
+    def on_writeback_batch(self, sector_indices, values) -> None:
+        sectors = np.asarray(sector_indices, dtype=np.int64)
+        self.stats.writebacks += int(sectors.size)
+        if sectors.size:
+            self._written_regions.update(
+                np.unique(sectors // self.region_sectors).tolist()
+            )
+        self._batch_counter_writes(sectors)
+        self._batch_mac_writes(sectors)
+
+    def warm_counters_batch(self, sector_indices, passes: int = 1) -> None:
+        if passes <= 0:
+            return
+        sectors = np.asarray(sector_indices, dtype=np.int64)
+        if sectors.size == 0:
+            return
+        if int(sectors.min()) < 0:
+            # Scalar error semantics: raise mid-warmup, regions of the
+            # already-processed prefix demoted.
+            PartitionEngine.warm_counters_batch(self, sectors.tolist(), passes)
+            return
+        super().warm_counters_batch(sectors, passes)
+        self._written_regions.update(
+            np.unique(sectors // self.region_sectors).tolist()
+        )
+
+    def _state_summary(self) -> List:
+        summary = super()._state_summary()
+        summary.append(sorted(self._written_regions))
+        return summary

@@ -24,8 +24,11 @@ specialize the read/write flows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+import hashlib
+from dataclasses import astuple, dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.mem.cache import CacheConfig, SectoredCache
 from repro.mem.traffic import Stream, TrafficCounter
@@ -138,11 +141,18 @@ class PartitionEngine:
         for sector_index, image in zip(sector_indices, values):
             on_writeback(sector_index, image)
 
-    def warm_counters_batch(self, sector_indices) -> None:
-        """Warm counter state for a run of pre-window writes."""
+    def warm_counters_batch(self, sector_indices, passes: int = 1) -> None:
+        """Warm counter state for *passes* pre-window write rounds.
+
+        Equivalent to ``passes`` pass-major scalar rounds over the whole
+        sector list (the order the replay loop used to drive). Batch
+        implementations may collapse the rounds only where the result is
+        provably order-free (no overflow, no saturation crossing).
+        """
         warm_counters = self.warm_counters
-        for sector_index in sector_indices:
-            warm_counters(sector_index)
+        for _ in range(passes):
+            for sector_index in sector_indices:
+                warm_counters(sector_index)
 
     def warm_counters(self, sector_index: int) -> None:
         """Advance counter state for one pre-window write (no traffic).
@@ -168,6 +178,30 @@ class PartitionEngine:
         """
         return {}
 
+    # -- differential state digest ----------------------------------------
+
+    def _state_summary(self) -> List:
+        """Everything the engine's future behavior depends on.
+
+        Subclasses extend the list with their own structures. Ordered
+        containers (cache LRU order) keep their order; plain dicts and
+        sets are canonicalized by sorting, because the batch contract
+        permits reordering key insertions whose order carries no
+        semantics (see the per-structure ``state_summary`` helpers).
+        """
+        return [astuple(self.stats)]
+
+    def state_digest(self) -> str:
+        """Stable hash of the complete engine state.
+
+        Two engines with equal digests are behaviorally
+        indistinguishable from here on — the comparison surface of the
+        batch-vs-scalar differential suite, strictly stronger than the
+        traffic/stats identity the conformance invariant checks.
+        """
+        summary = repr(self._state_summary()).encode()
+        return hashlib.sha256(summary).hexdigest()
+
 
 class NoSecurityEngine(PartitionEngine):
     """The insecure baseline: data moves, no metadata exists."""
@@ -190,7 +224,7 @@ class NoSecurityEngine(PartitionEngine):
     def on_writeback_batch(self, sector_indices, values) -> None:
         self.stats.writebacks += len(sector_indices)
 
-    def warm_counters_batch(self, sector_indices) -> None:
+    def warm_counters_batch(self, sector_indices, passes: int = 1) -> None:
         pass
 
 
@@ -250,8 +284,7 @@ class MetadataEngine(PartitionEngine):
                     continue
                 counter_sector = ev.line_addr // sector_bytes + s
                 leaves.add(self._leaf_of_counter_sector(counter_sector))
-            for leaf in leaves:
-                self.bmt.update_leaf(leaf)
+            self.bmt.update_leaves(leaves)
 
     def _leaf_of_counter_sector(self, counter_sector: int) -> int:
         if self.layout.design is GranularityDesign.BLOCK_128:
@@ -321,15 +354,20 @@ class MetadataEngine(PartitionEngine):
         self._drain_counter_evictions(result.evictions)
 
     def _on_minor_overflow(self, outcome) -> None:
-        """A minor overflow re-encrypts the whole major-counter group.
+        """A minor overflow re-encrypts the whole major-counter group."""
+        self._reencrypt_group(outcome.reencrypted_sectors)
+
+    def _reencrypt_group(self, reencrypted_sectors) -> None:
+        """Account a major-counter bump's group re-encryption.
 
         Every sector in the group must be read, re-encrypted under the
         new major, and written back — real data traffic the model
-        charges to the data streams.
+        charges to the data streams. The batch paths call this directly
+        with the affected tuple from ``increment_fast``.
         """
         self.stats.minor_overflows += 1
         group = [
-            s for s in outcome.reencrypted_sectors if s < self.data_sectors
+            s for s in reencrypted_sectors if s < self.data_sectors
         ]
         if self.obs.enabled:
             self.obs.tracer.emit(
@@ -385,6 +423,218 @@ class MetadataEngine(PartitionEngine):
             )
         self._drain_mac_evictions(result.evictions)
 
+    # -- batch replay machinery (columnar path) ---------------------------------
+    #
+    # The helpers below are what the batch-native engines compose their
+    # on_fill_batch / on_writeback_batch overrides from. Each one is a
+    # provably byte-identical replay of the scalar per-event sequence:
+    #
+    # * metadata locations for the whole run come from one vectorized
+    #   layout pass;
+    # * consecutive events hitting the same (line, mask) collapse into a
+    #   single ``access_run`` — the repeats are full hits by
+    #   construction, so only bulk hit accounting remains;
+    # * per-access miss traffic and fetch stats accumulate in locals and
+    #   post once per run (traffic streams and EngineStats are
+    #   commutative sums);
+    # * tree verification and eviction draining keep their scalar
+    #   position relative to every cache-state mutation.
+    #
+    # Counter-phase and MAC-phase state are disjoint (separate caches,
+    # separate streams), which is what legalizes running all counter
+    # work of a run before all MAC work.
+
+    @staticmethod
+    def _run_bounds(lines: np.ndarray, masks: np.ndarray) -> List[int]:
+        """Boundaries of equal-(line, mask) runs: [0, ..., n]."""
+        n = int(lines.size)
+        if n <= 1:
+            return [0, n]
+        change = np.flatnonzero(
+            (lines[1:] != lines[:-1]) | (masks[1:] != masks[:-1])
+        )
+        bounds = np.empty(change.size + 2, dtype=np.int64)
+        bounds[0] = 0
+        bounds[1:-1] = change + 1
+        bounds[-1] = n
+        return bounds.tolist()
+
+    def _verify_counter_tree(self, leaf_index: int) -> None:
+        """Tree walk for a counter fetch; designs may gate it (Fig. 20)."""
+        self.bmt.verify_leaf(leaf_index)
+
+    def _batch_counter_reads(self, sectors: np.ndarray) -> None:
+        """Counter-read phase of a batched fill run."""
+        if sectors.size == 0:
+            return
+        lines, masks = self.layout.counter_locations(sectors)
+        leaves = self.layout.bmt_leaf_indices(sectors)
+        bounds = self._run_bounds(lines, masks)
+        lines_l = lines.tolist()
+        masks_l = masks.tolist()
+        leaves_l = leaves.tolist()
+        access_run = self.counter_cache.access_run_raw
+        drain = self._drain_counter_evictions
+        fetches = 0
+        miss_sectors = 0
+        for j in range(len(bounds) - 1):
+            a = bounds[j]
+            miss_mask, miss_count, evictions = access_run(
+                lines_l[a], masks_l[a], False, bounds[j + 1] - a
+            )
+            if miss_mask:
+                fetches += 1
+                miss_sectors += miss_count
+                self._verify_counter_tree(leaves_l[a])
+            if evictions:
+                drain(evictions)
+        if fetches:
+            self.stats.counter_fetches += fetches
+            self.traffic.record(
+                Stream.COUNTER_READ,
+                miss_sectors * self.layout.sector_bytes,
+                transactions=miss_sectors,
+            )
+
+    def _batch_counter_writes(self, sectors: np.ndarray) -> None:
+        """Counter-write phase of a batched writeback run.
+
+        Increments stay in event order (a minor overflow's side effects
+        land exactly between its neighbours' increments); only the cache
+        accesses of a same-location run are compressed, which is legal
+        because increments never read cache state.
+        """
+        if sectors.size == 0:
+            return
+        lines, masks = self.layout.counter_locations(sectors)
+        leaves = self.layout.bmt_leaf_indices(sectors)
+        bounds = self._run_bounds(lines, masks)
+        sec_l = sectors.tolist()
+        lines_l = lines.tolist()
+        masks_l = masks.tolist()
+        leaves_l = leaves.tolist()
+        access_run = self.counter_cache.access_run_raw
+        drain = self._drain_counter_evictions
+        increment = self.counters.increment_fast
+        fetches = 0
+        miss_sectors = 0
+        for j in range(len(bounds) - 1):
+            a = bounds[j]
+            b = bounds[j + 1]
+            for s in sec_l[a:b]:
+                affected = increment(s)
+                if affected is not None:
+                    self._reencrypt_group(affected)
+            miss_mask, miss_count, evictions = access_run(
+                lines_l[a], masks_l[a], True, b - a
+            )
+            if miss_mask:
+                fetches += 1
+                miss_sectors += miss_count
+                self._verify_counter_tree(leaves_l[a])
+            if evictions:
+                drain(evictions)
+        if fetches:
+            self.stats.counter_fetches += fetches
+            self.traffic.record(
+                Stream.COUNTER_READ,
+                miss_sectors * self.layout.sector_bytes,
+                transactions=miss_sectors,
+            )
+
+    def _batch_mac_reads(self, sectors: np.ndarray) -> None:
+        """MAC-read phase of a batched fill run."""
+        if sectors.size == 0:
+            return
+        lines, masks = self.layout.mac_locations(sectors)
+        bounds = self._run_bounds(lines, masks)
+        lines_l = lines.tolist()
+        masks_l = masks.tolist()
+        access_run = self.mac_cache.access_run_raw
+        drain = self._drain_mac_evictions
+        fetches = 0
+        miss_sectors = 0
+        for j in range(len(bounds) - 1):
+            a = bounds[j]
+            miss_mask, miss_count, evictions = access_run(
+                lines_l[a], masks_l[a], False, bounds[j + 1] - a
+            )
+            if miss_mask:
+                fetches += 1
+                miss_sectors += miss_count
+            if evictions:
+                drain(evictions)
+        if fetches:
+            self.stats.mac_fetches += fetches
+            self.traffic.record(
+                Stream.MAC_READ,
+                miss_sectors * self.layout.sector_bytes,
+                transactions=miss_sectors,
+            )
+
+    def _batch_mac_writes(self, sectors: np.ndarray) -> None:
+        """MAC-write phase of a batched writeback run.
+
+        A miss is a read-modify-write: the fetch is MAC_READ traffic but
+        does not count as a demand MAC fetch — same as the scalar path.
+        """
+        if sectors.size == 0:
+            return
+        lines, masks = self.layout.mac_locations(sectors)
+        bounds = self._run_bounds(lines, masks)
+        lines_l = lines.tolist()
+        masks_l = masks.tolist()
+        access_run = self.mac_cache.access_run_raw
+        drain = self._drain_mac_evictions
+        miss_sectors = 0
+        for j in range(len(bounds) - 1):
+            a = bounds[j]
+            miss_mask, miss_count, evictions = access_run(
+                lines_l[a], masks_l[a], True, bounds[j + 1] - a
+            )
+            if miss_mask:
+                miss_sectors += miss_count
+            if evictions:
+                drain(evictions)
+        if miss_sectors:
+            self.traffic.record(
+                Stream.MAC_READ,
+                miss_sectors * self.layout.sector_bytes,
+                transactions=miss_sectors,
+            )
+
+    def warm_counters_batch(self, sector_indices, passes: int = 1) -> None:
+        """Vectorized counter warmup.
+
+        When no minor counter can overflow across all passes, the
+        per-sector totals are order-free and apply in one bulk pass;
+        otherwise the exact pass-major scalar order replays (overflow
+        side effects depend on interleaving).
+        """
+        if passes <= 0:
+            return
+        sectors = np.asarray(sector_indices, dtype=np.int64)
+        if sectors.size == 0:
+            return
+        if int(sectors.min()) < 0:
+            # Match the scalar error behavior (increment raises on the
+            # first negative index, after earlier warms applied).
+            PartitionEngine.warm_counters_batch(
+                self, sectors.tolist(), passes
+            )
+            return
+        uniq, counts = np.unique(sectors, return_counts=True)
+        uniq_l = uniq.tolist()
+        totals = (counts * int(passes)).tolist()
+        if self.counters.bulk_increment_safe(uniq_l, totals):
+            self.counters.bulk_increment(uniq_l, totals)
+            return
+        increment = self.counters.increment_fast
+        sec_l = sectors.tolist()
+        for _ in range(passes):
+            for s in sec_l:
+                increment(s)
+
     # -- lifecycle -------------------------------------------------------------------
 
     def warm_counters(self, sector_index: int) -> None:
@@ -396,6 +646,15 @@ class MetadataEngine(PartitionEngine):
         self._drain_counter_evictions(self.counter_cache.flush())
         self._drain_mac_evictions(self.mac_cache.flush())
         self.bmt.flush()
+
+    def _state_summary(self) -> List:
+        summary = super()._state_summary()
+        summary.append(self.counter_cache.state_summary())
+        summary.append(self.mac_cache.state_summary())
+        summary.append(self.bmt_cache.state_summary())
+        summary.append(self.counters.state_summary())
+        summary.append(self.bmt.root_verifications)
+        return summary
 
     def obs_snapshot(self) -> Dict[str, int]:
         """Shared cumulative quantities (see :meth:`PartitionEngine.obs_snapshot`)."""

@@ -19,7 +19,9 @@ where integrity-tree traffic is assumed away entirely.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.common.bitops import split_values
 from repro.mem.traffic import Stream, TrafficCounter
@@ -31,8 +33,17 @@ from repro.metadata.compact import (
 )
 from repro.metadata.layout import GranularityDesign, MetadataLayout
 from repro.metadata.bmt import BmtTraversal
-from repro.secure.engine import MetadataCacheConfig, MetadataEngine
+from repro.secure.engine import (
+    MetadataCacheConfig,
+    MetadataEngine,
+    PartitionEngine,
+)
 from repro.secure.value_cache import ValueCache, ValueCacheConfig
+
+#: Sentinel returned by the key scan when a present image has the wrong
+#: length; the batch hooks then fall back to the scalar replay, which
+#: raises at exactly the event the scalar sequence would.
+_MALFORMED = object()
 
 
 class PlutusEngine(MetadataEngine):
@@ -157,8 +168,8 @@ class PlutusEngine(MetadataEngine):
                 if (ev.dirty_mask >> s) & 1:
                     counter_sector = ev.line_addr // sector_bytes + s
                     leaves.add(self._leaf_of_counter_sector(counter_sector))
-            for leaf in leaves:
-                self._update_tree(self.bmt, leaf)
+            if self.tree_enabled:
+                self.bmt.update_leaves(leaves)
 
     # -- compact-counter layer ---------------------------------------------------
 
@@ -197,8 +208,8 @@ class PlutusEngine(MetadataEngine):
                 if (ev.dirty_mask >> s) & 1:
                     counter_sector = ev.line_addr // sector_bytes + s
                     leaves.add(self._compact_leaf_of_sector(counter_sector))
-            for leaf in leaves:
-                self._update_tree(self.compact_bmt, leaf)
+            if self.tree_enabled:
+                self.compact_bmt.update_leaves(leaves)
 
     def _counter_read_flow(self, sector_index: int) -> None:
         """Route a read's counter access through the mirror hierarchy."""
@@ -322,6 +333,380 @@ class PlutusEngine(MetadataEngine):
             self.compact.plan_write(sector_index)
             if outcome.minor_overflowed:
                 self.compact.force_original(outcome.reencrypted_sectors)
+
+    # -- batch hooks (columnar path) ----------------------------------------
+    #
+    # A Plutus event touches up to four disjoint structures — the compact
+    # layer (compact cache + mini BMT), the original layer (counter cache
+    # + BMT + split counters), the value cache, and the MAC cache — so a
+    # run splits into a counter phase, an in-order value phase, and a MAC
+    # phase over the events the value cache could not cover. Only the
+    # write flow needs care: compact routing decisions and value-cache
+    # probes are order-dependent, so both replay per event while the
+    # cache accesses around them compress into same-location runs.
+
+    batch_native = True
+
+    def _verify_counter_tree(self, leaf_index: int) -> None:
+        """Original-tree walk for the shared batch helpers, gated."""
+        if self.tree_enabled:
+            self.bmt.verify_leaf(leaf_index)
+
+    def _batch_value_keys(self, values, n: int):
+        """Masked value-cache keys per event (None = no image).
+
+        The fixed-width fast path reads the whole run's payload matrix
+        as little-endian u32 words and masks all of them with one numpy
+        AND — byte-identical to per-value ``split_values`` + ``_key``
+        because both decode little-endian and the combined range+low
+        mask is a single constant. Returns ``_MALFORMED`` when a present
+        image has the wrong length (caller falls back to scalar).
+        """
+        vc = self.value_cache
+        u32_matrix = getattr(values, "u32_matrix", None)
+        if u32_matrix is not None:
+            matrix = u32_matrix()
+            if matrix is not None:
+                # Fixed 32-byte payload column: lengths are valid by
+                # construction.
+                if vc is None:
+                    return [None] * n
+                cfg = vc.config
+                shift_mask = ((1 << cfg.value_bits) - 1) & ~(
+                    (1 << cfg.mask_bits) - 1
+                )
+                words, present = matrix
+                keys = (words & np.uint32(shift_mask)).tolist()
+                present_l = present.tolist()
+                return [
+                    keys[i] if present_l[i] else None for i in range(n)
+                ]
+        mask_keys = vc.mask_keys if vc is not None else None
+        out: List = []
+        append = out.append
+        for image in values:
+            if image is None:
+                append(None)
+            elif len(image) != 32:
+                return _MALFORMED
+            elif mask_keys is None:
+                append(None)  # valid image; keys unused without a cache
+            else:
+                append(mask_keys(split_values(image, 4)))
+        return out
+
+    def _batch_compact_accesses(self, sectors: np.ndarray, write: bool) -> None:
+        """Compact-layer phase of a batched run (fetch + verify on miss)."""
+        if sectors.size == 0:
+            return
+        layout = self.compact_layout
+        lines, masks = layout.counter_locations(sectors)
+        leaves = layout.bmt_leaf_indices(sectors)
+        bounds = self._run_bounds(lines, masks)
+        lines_l = lines.tolist()
+        masks_l = masks.tolist()
+        leaves_l = leaves.tolist()
+        access_run = self.compact_cache.access_run_raw
+        drain = self._drain_compact_evictions
+        miss_sectors = 0
+        for j in range(len(bounds) - 1):
+            a = bounds[j]
+            miss_mask, miss_count, evictions = access_run(
+                lines_l[a], masks_l[a], write, bounds[j + 1] - a
+            )
+            if miss_mask:
+                miss_sectors += miss_count
+                self._verify_tree(self.compact_bmt, leaves_l[a])
+            if evictions:
+                drain(evictions)
+        if miss_sectors:
+            self.traffic.record(
+                Stream.COMPACT_COUNTER_READ,
+                miss_sectors * layout.sector_bytes,
+                transactions=miss_sectors,
+            )
+
+    def _batch_counter_write_flow(self, sectors: np.ndarray) -> None:
+        """Batched mirror-hierarchy counter increments (write path).
+
+        Routing decisions (``plan_write_code``), split-counter
+        increments, overflow re-encryptions, and adaptive disables all
+        replay strictly per event — their side effects feed the very
+        next routing decision. Only the cache accesses compress: each
+        layer keeps one pending same-location run, flushed when the
+        location changes or when a disable's synchronization is about to
+        touch the original counter cache mid-run.
+        """
+        if sectors.size == 0:
+            return
+        o_lines, o_masks = self.layout.counter_locations(sectors)
+        o_leaves = self.layout.bmt_leaf_indices(sectors)
+        c_lines, c_masks = self.compact_layout.counter_locations(sectors)
+        c_leaves = self.compact_layout.bmt_leaf_indices(sectors)
+        sec_l = sectors.tolist()
+        o_lines_l = o_lines.tolist()
+        o_masks_l = o_masks.tolist()
+        o_leaves_l = o_leaves.tolist()
+        c_lines_l = c_lines.tolist()
+        c_masks_l = c_masks.tolist()
+        c_leaves_l = c_leaves.tolist()
+
+        plan_write = self.compact.plan_write_code
+        increment = self.counters.increment_fast
+        c_access_run = self.compact_cache.access_run_raw
+        o_access_run = self.counter_cache.access_run_raw
+
+        compact_only = double = original_only = 0
+        o_fetches = o_miss = c_miss = 0
+        cp = op = -1  # start index of each layer's pending run
+        cp_count = op_count = 0
+
+        def flush_compact() -> None:
+            nonlocal cp, cp_count, c_miss
+            miss_mask, miss_count, evictions = c_access_run(
+                c_lines_l[cp], c_masks_l[cp], True, cp_count
+            )
+            if miss_mask:
+                c_miss += miss_count
+                self._verify_tree(self.compact_bmt, c_leaves_l[cp])
+            if evictions:
+                self._drain_compact_evictions(evictions)
+            cp = -1
+            cp_count = 0
+
+        def flush_original() -> None:
+            nonlocal op, op_count, o_fetches, o_miss
+            miss_mask, miss_count, evictions = o_access_run(
+                o_lines_l[op], o_masks_l[op], True, op_count
+            )
+            if miss_mask:
+                o_fetches += 1
+                o_miss += miss_count
+                self._verify_tree(self.bmt, o_leaves_l[op])
+            if evictions:
+                self._drain_counter_evictions(evictions)
+            op = -1
+            op_count = 0
+
+        for i, s in enumerate(sec_l):
+            code = plan_write(s)
+            route = code & 7
+            if route != 2:
+                if (
+                    cp >= 0
+                    and c_lines_l[cp] == c_lines_l[i]
+                    and c_masks_l[cp] == c_masks_l[i]
+                ):
+                    cp_count += 1
+                else:
+                    if cp >= 0:
+                        flush_compact()
+                    cp = i
+                    cp_count = 1
+                if route == 0:
+                    compact_only += 1
+                else:
+                    double += 1
+            else:
+                original_only += 1
+            if route != 0:
+                affected = increment(s)
+                if affected is not None:
+                    self._reencrypt_group(affected)
+                    self.compact.force_original(affected)
+                if (
+                    op >= 0
+                    and o_lines_l[op] == o_lines_l[i]
+                    and o_masks_l[op] == o_masks_l[i]
+                ):
+                    op_count += 1
+                else:
+                    if op >= 0:
+                        flush_original()
+                    op = i
+                    op_count = 1
+            if code & 8:
+                self.stats.compact_disable_events += 1
+                if self.obs.enabled:
+                    self.obs.tracer.emit(
+                        "compact.disable",
+                        partition=self.partition_id,
+                        block=self.compact.block_of(s),
+                        sector=s,
+                    )
+                # The sync write-touches the original counter cache, so
+                # the pending original run must land first (and the next
+                # one starts fresh — the sync may evict its line).
+                if op >= 0:
+                    flush_original()
+                self._sync_block_to_original(s)
+        if cp >= 0:
+            flush_compact()
+        if op >= 0:
+            flush_original()
+
+        self.stats.compact_only_accesses += compact_only
+        self.stats.compact_double_accesses += double
+        self.stats.original_only_accesses += original_only
+        if c_miss:
+            self.traffic.record(
+                Stream.COMPACT_COUNTER_READ,
+                c_miss * self.compact_layout.sector_bytes,
+                transactions=c_miss,
+            )
+        if o_fetches:
+            self.stats.counter_fetches += o_fetches
+            self.traffic.record(
+                Stream.COUNTER_READ,
+                o_miss * self.layout.sector_bytes,
+                transactions=o_miss,
+            )
+
+    def on_fill_batch(self, sector_indices, values) -> None:
+        sectors = np.asarray(sector_indices, dtype=np.int64)
+        n = int(sectors.size)
+        keys_list = self._batch_value_keys(values, n)
+        if keys_list is _MALFORMED:
+            PartitionEngine.on_fill_batch(self, sectors.tolist(), values)
+            return
+        self.stats.fills += n
+
+        # Counter phase: plan_read is pure and nothing in a fill run
+        # mutates compact state, so all routes are decided up front.
+        if self.compact is None:
+            self._batch_counter_reads(sectors)
+        else:
+            codes = self.compact.plan_read_codes(sectors.tolist())
+            if codes is None:
+                self.stats.compact_only_accesses += n
+                self._batch_compact_accesses(sectors, write=False)
+            else:
+                codes_arr = np.asarray(codes, dtype=np.int8)
+                n_original_only = int(np.count_nonzero(codes_arr == 2))
+                n_double = int(np.count_nonzero(codes_arr == 1))
+                self.stats.compact_only_accesses += (
+                    n - n_original_only - n_double
+                )
+                self.stats.compact_double_accesses += n_double
+                self.stats.original_only_accesses += n_original_only
+                compact_rows = codes_arr != 2
+                if compact_rows.any():
+                    self._batch_compact_accesses(
+                        sectors[compact_rows], write=False
+                    )
+                original_rows = codes_arr != 0
+                if original_rows.any():
+                    self._batch_counter_reads(sectors[original_rows])
+
+        # Value phase: per-event, in order — every probe reshapes the
+        # cache the next event sees. MAC fetches for uncovered events
+        # defer to one batched MAC phase (disjoint state).
+        if self.value_cache is None:
+            self._batch_mac_reads(sectors)
+            return
+        vc = self.value_cache
+        mac_rows = np.zeros(n, dtype=bool)
+        verified = failures = 0
+        for i, keys in enumerate(keys_list):
+            if keys is None:
+                mac_rows[i] = True
+                continue
+            if vc.verify_keys(keys):
+                verified += 1
+            else:
+                failures += 1
+                mac_rows[i] = True
+            vc.observe_keys(keys)
+        self.stats.value_verified_fills += verified
+        self.stats.mac_fetches_avoided += verified
+        self.stats.value_check_failures += failures
+        if mac_rows.any():
+            self._batch_mac_reads(sectors[mac_rows])
+
+    def on_writeback_batch(self, sector_indices, values) -> None:
+        sectors = np.asarray(sector_indices, dtype=np.int64)
+        n = int(sectors.size)
+        keys_list = self._batch_value_keys(values, n)
+        if keys_list is _MALFORMED:
+            PartitionEngine.on_writeback_batch(self, sectors.tolist(), values)
+            return
+        self.stats.writebacks += n
+
+        if self.compact is None:
+            self._batch_counter_writes(sectors)
+        else:
+            self._batch_counter_write_flow(sectors)
+
+        if self.value_cache is None:
+            self._batch_mac_writes(sectors)
+            return
+        vc = self.value_cache
+        mac_rows = np.zeros(n, dtype=bool)
+        avoided = 0
+        for i, keys in enumerate(keys_list):
+            if keys is None:
+                mac_rows[i] = True
+                continue
+            vc.observe_keys(keys)
+            if vc.write_verifiable_keys(keys):
+                avoided += 1
+            else:
+                mac_rows[i] = True
+        self.stats.mac_writes_avoided += avoided
+        if mac_rows.any():
+            self._batch_mac_writes(sectors[mac_rows])
+
+    def warm_counters_batch(self, sector_indices, passes: int = 1) -> None:
+        """Vectorized two-layer warmup.
+
+        Bulk application needs *both* layers order-free: no minor
+        overflow (whose force_original would redirect later compact
+        plans) and no compact saturation crossing. Otherwise the exact
+        scalar interleaving replays.
+        """
+        if self.compact is None:
+            MetadataEngine.warm_counters_batch(self, sector_indices, passes)
+            return
+        if passes <= 0:
+            return
+        sectors = np.asarray(sector_indices, dtype=np.int64)
+        if sectors.size == 0:
+            return
+        if int(sectors.min()) < 0:
+            PartitionEngine.warm_counters_batch(
+                self, sectors.tolist(), passes
+            )
+            return
+        uniq, counts = np.unique(sectors, return_counts=True)
+        uniq_l = uniq.tolist()
+        totals = (counts * int(passes)).tolist()
+        if self.counters.bulk_increment_safe(
+            uniq_l, totals
+        ) and self.compact.bulk_writes_safe(uniq_l, totals):
+            self.counters.bulk_increment(uniq_l, totals)
+            self.compact.bulk_writes(uniq_l, totals)
+            return
+        increment = self.counters.increment_fast
+        plan_write = self.compact.plan_write_code
+        force = self.compact.force_original
+        sec_l = sectors.tolist()
+        for _ in range(passes):
+            for s in sec_l:
+                affected = increment(s)
+                plan_write(s)
+                if affected is not None:
+                    force(affected)
+
+    def _state_summary(self) -> List:
+        summary = super()._state_summary()
+        if self.value_cache is not None:
+            summary.append(self.value_cache.state_summary())
+        if self.compact is not None:
+            summary.append(self.compact.state_summary())
+            summary.append(self.compact_cache.state_summary())
+            summary.append(self.compact_bmt_cache.state_summary())
+            summary.append(self.compact_bmt.root_verifications)
+        return summary
 
     def finalize(self) -> None:
         """Drain dirty metadata in both layers at kernel end."""

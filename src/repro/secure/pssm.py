@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.mem.traffic import TrafficCounter
 from repro.metadata.layout import GranularityDesign
 from repro.secure.engine import MetadataCacheConfig, MetadataEngine
@@ -60,3 +62,24 @@ class PssmEngine(MetadataEngine):
         self.stats.writebacks += 1
         self.counter_write(sector_index)
         self.mac_write(sector_index)
+
+    # -- batch hooks (columnar path) --------------------------------------
+    #
+    # PSSM touches two disjoint metadata structures per event, so a run
+    # splits into a counter phase and a MAC phase; each phase is the
+    # shared vectorized replay from MetadataEngine. Values never matter
+    # to this design, so the lazy value columns stay unmaterialized.
+
+    batch_native = True
+
+    def on_fill_batch(self, sector_indices, values) -> None:
+        sectors = np.asarray(sector_indices, dtype=np.int64)
+        self.stats.fills += int(sectors.size)
+        self._batch_counter_reads(sectors)
+        self._batch_mac_reads(sectors)
+
+    def on_writeback_batch(self, sector_indices, values) -> None:
+        sectors = np.asarray(sector_indices, dtype=np.int64)
+        self.stats.writebacks += int(sectors.size)
+        self._batch_counter_writes(sectors)
+        self._batch_mac_writes(sectors)

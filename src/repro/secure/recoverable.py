@@ -46,7 +46,7 @@ from repro.common.errors import ConfigurationError, RecoveryError
 from repro.mem.backing import NvmRegion
 from repro.mem.traffic import Stream, TrafficCounter
 from repro.metadata.split_counter import SplitCounterConfig
-from repro.secure.engine import MetadataCacheConfig
+from repro.secure.engine import MetadataCacheConfig, PartitionEngine
 from repro.secure.functional import SECTOR_BYTES, SecureMemory
 from repro.secure.pssm import PssmEngine
 
@@ -701,6 +701,15 @@ class RecoverableEngine(PssmEngine):
             cache_config=cache_config or MetadataCacheConfig(),
             counter_config=counter_config,
         )
+
+    # Journaling is strictly per event (one WAL append *before* each
+    # home update, one per overflow), so PSSM's phase-split batch hooks
+    # would misorder the log stream relative to nothing they can see.
+    # Opt back into the scalar in-order replay.
+    batch_native = False
+    on_fill_batch = PartitionEngine.on_fill_batch
+    on_writeback_batch = PartitionEngine.on_writeback_batch
+    warm_counters_batch = PartitionEngine.warm_counters_batch
 
     def _log_append(self) -> None:
         self.stats.wal_appends += 1

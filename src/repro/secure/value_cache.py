@@ -234,3 +234,111 @@ class ValueCache:
     def pinned_values(self) -> List[int]:
         """Masked values currently pinned (diagnostics/tests)."""
         return list(self._pinned)
+
+    # -- batch replay support (pre-masked keys) -------------------------------
+    #
+    # The batch replay path derives the masked probe keys for a whole
+    # run with one numpy pass (see :meth:`mask_keys`) and then drives
+    # the cache through these key-based twins of verify_sector /
+    # observe_many / write_verifiable. Each twin replays the scalar
+    # method's per-key dict operations in the same order, so state,
+    # LRU order, and statistics stay byte-identical; only the per-value
+    # ``_key()`` calls and the UnitCheck allocations are gone.
+
+    def mask_keys(self, values: Sequence[int]) -> List[int]:
+        """Masked probe keys for raw 32-bit values (order preserved)."""
+        return [self._key(v) for v in values]
+
+    def verify_keys(self, keys: Sequence[int]) -> bool:
+        """:meth:`verify_sector` over pre-masked keys."""
+        cfg = self.config
+        per_unit = cfg.values_per_unit
+        nkeys = len(keys)
+        if nkeys % per_unit != 0:
+            raise ValueError("sector values must fill whole units")
+        stats = self.stats
+        pinned = self._pinned
+        transient = self._transient
+        freq_cap = (1 << cfg.freq_bits) - 1
+        pin_at = cfg.pin_threshold
+        pin_cap = cfg.pinned_capacity
+        need = cfg.hits_required
+        probes = hits_total = pinned_total = promotions = 0
+        passed = True
+        stats.sectors_checked += 1
+        for start in range(0, nkeys, per_unit):
+            hits = 0
+            for key in keys[start:start + per_unit]:
+                probes += 1
+                if key in pinned:
+                    hits += 1
+                    pinned_total += 1
+                elif key in transient:
+                    hits += 1
+                    freq = min(transient[key] + 1, freq_cap)
+                    transient[key] = freq
+                    transient.move_to_end(key)
+                    if freq >= pin_at and len(pinned) < pin_cap:
+                        pinned[key] = transient.pop(key)
+                        promotions += 1
+            hits_total += hits
+            if hits < need:
+                passed = False
+                break  # scalar verify_sector short-circuits here too
+        stats.probes += probes
+        stats.hits += hits_total
+        stats.pinned_hits += pinned_total
+        stats.promotions += promotions
+        if passed:
+            stats.sectors_verified += 1
+        else:
+            stats.sectors_failed += 1
+        return passed
+
+    def observe_keys(self, keys: Sequence[int]) -> None:
+        """:meth:`observe_many` over pre-masked keys."""
+        pinned = self._pinned
+        transient = self._transient
+        cap = self.config.transient_capacity
+        for key in keys:
+            if key in pinned:
+                continue
+            if key in transient:
+                transient.move_to_end(key)
+                continue
+            if len(transient) >= cap:
+                transient.popitem(last=False)
+            transient[key] = 1
+
+    def write_verifiable_keys(self, keys: Sequence[int]) -> bool:
+        """:meth:`write_verifiable` over pre-masked keys (state-free)."""
+        cfg = self.config
+        per_unit = cfg.values_per_unit
+        if len(keys) % per_unit != 0:
+            raise ValueError("sector values must fill whole units")
+        pinned = self._pinned
+        need = cfg.hits_required
+        for start in range(0, len(keys), per_unit):
+            hits = 0
+            for key in keys[start:start + per_unit]:
+                if key in pinned:
+                    hits += 1
+            if hits < need:
+                return False
+        return True
+
+    def state_summary(self):
+        """Canonical full-state value for differential comparison.
+
+        Transient entries keep their LRU (insertion) order — it decides
+        future evictions — while the pinned dict is sorted: pinned
+        entries are never evicted or ordered, so key insertion order
+        carries no semantics there.
+        """
+        st = self.stats
+        return (
+            list(self._transient.items()),
+            sorted(self._pinned.items()),
+            (st.probes, st.hits, st.pinned_hits, st.sectors_checked,
+             st.sectors_verified, st.sectors_failed, st.promotions),
+        )

@@ -78,9 +78,18 @@ class TestRunBench:
 
     def test_entry_records_path_and_batched_flags(self, entry):
         assert entry["path"] == "columnar"
-        # nosec is the one roster engine with a native batch fast path.
+        # Every roster metadata engine carries a native batch fast path.
         assert entry["engines"]["nosec"]["batched"] is True
-        assert entry["engines"]["pssm"]["batched"] is False
+        assert entry["engines"]["pssm"]["batched"] is True
+
+    def test_recoverable_engine_opts_out_of_batching(self):
+        entry = run_bench(
+            "bfs", ["recoverable"], length=200, repeats=1, workers=1,
+        )
+        # The WAL's append-per-event ordering cannot be vectorized
+        # without changing the log; the engine must stay on the scalar
+        # replay contract.
+        assert entry["engines"]["recoverable"]["batched"] is False
 
     def test_object_path_recorded_when_requested(self):
         entry = run_bench(
