@@ -25,6 +25,12 @@ from __future__ import annotations
 #: * ``EXIT_PARTIAL`` — a supervised run degraded: a resource budget
 #:   was exhausted or work units failed, and the report explicitly
 #:   marks the missing cells.
+#:
+#: The ``cache`` subcommand uses the same vocabulary: ``EXIT_OK`` for
+#: ``stats`` and for a ``gc`` pass that met (or could not improve on)
+#: its byte budget — pinned in-flight entries surviving a tight budget
+#: is correct behavior, not a failure — and ``EXIT_USAGE`` when the
+#: store is disabled or the arguments are malformed.
 EXIT_OK = 0
 EXIT_FAILURE = 1
 EXIT_USAGE = 2

@@ -26,12 +26,24 @@ sensitivity sweep as a supervised campaign: every cell is a journaled
 work unit, so ``--resume <run-id>`` after a crash re-runs only the
 unfinished cells, ``--budget`` degrades gracefully into an explicit
 partial report, and ``--chaos`` sabotages the runtime on purpose; see
-docs/ARCHITECTURE.md § Resilient execution.
+docs/ARCHITECTURE.md § Resilient execution. With ``--workers N``
+(N >= 2) the campaign runs on N worker *subprocesses* pulling from a
+shared lease-based work queue — dead workers are detected by
+heartbeat and their units stolen, ``--speculate`` duplicates
+stragglers, and the merged report stays byte-identical to a serial
+run; see docs/ARCHITECTURE.md § Distributed execution. The same flag
+reaches ``inject``, ``conform --fuzz``, and the experiments command.
 
 ``python -m repro.harness status <journal>`` monitors a supervised run
 from its journal, read-only and safe against the live campaign;
-``--follow`` tails it to completion. See docs/SCHEMAS.md for the
-journal record layout it consumes.
+``--follow`` tails it to completion, and distributed runs get a
+per-worker roll-up (throughput, leases held, steals, speculations).
+See docs/SCHEMAS.md for the journal record layout it consumes.
+
+``python -m repro.harness cache stats|gc`` inspects the shared
+artifact store: entry/byte counts and lifetime hit/corruption
+counters, plus LRU eviction down to ``--max-bytes`` that never evicts
+entries pinned by an in-flight campaign.
 
 ``python -m repro.harness bench`` measures replay throughput
 (events/sec, serial and sharded) across engine design points and
@@ -264,7 +276,7 @@ def inject_main(argv) -> int:
         help="root of the on-disk trace cache (default: $REPRO_CACHE_DIR "
              "or .cache; pass '' to disable)",
     )
-    add_resilience_flags(parser)
+    add_resilience_flags(parser, workers=True)
     add_logging_flags(parser)
     args = parser.parse_args(argv)
     setup_logging(args)
@@ -276,22 +288,50 @@ def inject_main(argv) -> int:
     for engine in args.engines or ():
         _check_known(parser, "engine variant", engine, ENGINE_VARIANTS)
 
+    from repro.harness.supervise import distributed_requested
+
     if args.campaign in CRASH_CAMPAIGNS:
         if args.engines:
             parser.error(
                 "--engines does not apply to crash campaigns: they "
                 "always torture the recoverable engine"
             )
+        if distributed_requested(args):
+            parser.error(
+                "--workers does not apply to crash campaigns: crash "
+                "points re-execute one recoverable engine serially"
+            )
         return _inject_crash(args)
 
     from repro.faults.report import render_campaign
     from repro.harness.inject import run_inject
-    from repro.resilience import render_outcome
+    from repro.resilience import factory_spec, render_outcome
 
-    supervisor = (
-        build_supervisor(args) if supervision_requested(args) else None
-    )
     try:
+        supervisor = None
+        if distributed_requested(args):
+            # Distributed runs need the concrete campaign up front (the
+            # journal opens against its fingerprint) plus a JSON factory
+            # workers rebuild it from.
+            from repro.harness.inject import inject_campaign
+
+            kwargs = {
+                "benchmark": args.benchmark,
+                "campaign": args.campaign,
+                "length": args.length,
+                "seed": args.seed,
+                "engines": list(args.engines) if args.engines else None,
+                "cache_dir": args.cache_dir,
+            }
+            supervisor = build_supervisor(
+                args,
+                inject_campaign(**kwargs),
+                factory_spec=factory_spec(
+                    "repro.harness.inject:inject_campaign", kwargs
+                ),
+            )
+        elif supervision_requested(args):
+            supervisor = build_supervisor(args)
         outcome = run_inject(
             args.benchmark,
             args.campaign,
@@ -396,7 +436,7 @@ def conform_main(argv) -> int:
         help="fuzz iterations per supervised work unit (default 8); "
              "chunking never changes results, only journal granularity",
     )
-    add_resilience_flags(parser)
+    add_resilience_flags(parser, workers=True)
     add_logging_flags(parser)
     args = parser.parse_args(argv)
     setup_logging(args)
@@ -404,6 +444,8 @@ def conform_main(argv) -> int:
         parser.error("--fuzz must be >= 0")
     if args.fuzz_chunk < 1:
         parser.error("--fuzz-chunk must be >= 1")
+    if getattr(args, "workers", None) is not None and args.fuzz <= 0:
+        parser.error("--workers applies to the fuzz stage; pass --fuzz N")
 
     from pathlib import Path
 
@@ -414,8 +456,26 @@ def conform_main(argv) -> int:
 
     supervisor_factory = None
     if args.fuzz > 0 and supervision_requested(args):
+        from repro.resilience import factory_spec
+
+        # Mirrors run_conform's own fuzz_campaign call so distributed
+        # workers rebuild the identical campaign.
+        fuzz_spec = factory_spec(
+            "repro.conformance.fuzzer:fuzz_campaign",
+            {
+                "iterations": args.fuzz,
+                "seed": args.seed,
+                "chunk_size": args.fuzz_chunk,
+                "functional_events": (
+                    args.functional_events
+                    if args.functional_events is not None
+                    else DEFAULT_FUNCTIONAL_EVENTS
+                ),
+            },
+        )
+
         def supervisor_factory(campaign):
-            return build_supervisor(args, campaign)
+            return build_supervisor(args, campaign, factory_spec=fuzz_spec)
 
     run_corpus_stage = args.corpus or args.update or args.fuzz == 0
     try:
@@ -489,7 +549,7 @@ def sweep_main(argv) -> int:
 
     from repro.harness.report import render_sweep
     from repro.harness.sweeps import completed_rows, sweep_campaign
-    from repro.resilience import render_outcome
+    from repro.resilience import factory_spec, render_outcome
 
     try:
         campaign = sweep_campaign(
@@ -501,7 +561,22 @@ def sweep_main(argv) -> int:
             cache_dir=args.cache_dir,
             shard_timeout=args.shard_timeout,
         )
-        supervisor = build_supervisor(args, campaign)
+        # Worker-side factory: cells replay serially inside each worker
+        # (the distributed fan-out *is* the parallelism); the execution
+        # knobs are outside unit identity, so fingerprints still match.
+        spec = factory_spec(
+            "repro.harness.sweeps:sweep_campaign",
+            {
+                "sweep": args.sweep,
+                "benchmark": args.benchmark,
+                "trace_length": args.length,
+                "seed": args.seed,
+                "workers": 1,
+                "cache_dir": args.cache_dir,
+                "shard_timeout": args.shard_timeout,
+            },
+        )
+        supervisor = build_supervisor(args, campaign, factory_spec=spec)
         outcome = supervisor.run(campaign)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -549,6 +624,10 @@ def list_main(argv) -> int:
     # SWEEP_NAMES) so the listing is byte-stable across runs.
     section("benchmarks", sorted(benchmark_names()))
     section("engines", sorted(engine_factories()))
+    # How a campaign's units get executed: the serial reference path,
+    # the in-process sharded replay pool (--workers auto), or the
+    # multi-process lease-queue executor (--workers N with journaling).
+    section("executors", ("serial", "pool", "distributed"))
     section("experiments", sorted(EXPERIMENTS))
     section("sweeps", SWEEP_NAMES)
     section("fault campaigns", sorted(CAMPAIGNS))
@@ -580,6 +659,10 @@ def main(argv=None) -> int:
         from repro.harness.bench import bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.harness.cache_cli import cache_main
+
+        return cache_main(argv[1:])
     if argv and argv[0] == "list":
         return list_main(argv[1:])
     parser = argparse.ArgumentParser(
@@ -660,11 +743,23 @@ def _supervised_experiments(args, ctx, selected) -> int:
         experiments_campaign,
         result_from_payload,
     )
-    from repro.resilience import render_outcome
+    from repro.resilience import factory_spec, render_outcome
 
     try:
         campaign = experiments_campaign(ctx, selected)
-        supervisor = build_supervisor(args, campaign)
+        spec = factory_spec(
+            "repro.harness.experiments:experiments_campaign_from_params",
+            {
+                "selected": list(selected),
+                "trace_length": args.length,
+                "seed": args.seed,
+                "benchmarks": list(ctx.benchmarks),
+                "workers": 1,
+                "shard_timeout": args.shard_timeout,
+                "cache_dir": args.cache_dir,
+            },
+        )
+        supervisor = build_supervisor(args, campaign, factory_spec=spec)
         outcome = supervisor.run(campaign)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -10,25 +10,38 @@ same flag vocabulary:
 * ``--chaos`` / ``--chaos-seed`` — the seeded chaos monkey;
 * ``--run-dir`` / ``--run-id`` / ``--resume`` — the journal: where run
   directories live, which run this is, and whether to continue an
-  existing one instead of starting fresh.
+  existing one instead of starting fresh;
+* ``--workers N`` (with ``N >= 2`` and journaling enabled) — the
+  distributed executor: N worker subprocesses pull units from a shared
+  lease-based work queue, with ``--lease-ttl`` bounding dead-worker
+  detection, ``--speculate`` duplicating stragglers, and
+  ``--chaos-workers`` sabotaging the worker *processes* themselves
+  (kill -9, freezes) rather than unit attempts.
 
 :func:`build_supervisor` turns parsed args (plus the concrete campaign,
-when journaling applies) into a ready :class:`Supervisor`.
+when journaling applies) into a ready :class:`Supervisor` — or a
+:class:`~repro.resilience.DistributedSupervisor` when the subcommand
+supplied a campaign factory spec and the flags ask for one.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Optional
+from typing import Dict, Optional
+
+from repro.common.errors import ResilienceError
 
 from repro.resilience import (
     Campaign,
     ChaosConfig,
     ChaosMonkey,
+    DistributedConfig,
+    DistributedSupervisor,
     ResourceBudget,
     RetryPolicy,
     RunJournal,
     Supervisor,
+    WorkerChaosConfig,
 )
 
 #: Default root for run journals (mirrors the ``.cache`` convention).
@@ -48,12 +61,16 @@ def _positive_float(value: str) -> float:
 
 
 def add_resilience_flags(
-    parser: argparse.ArgumentParser, journal: bool = True
+    parser: argparse.ArgumentParser,
+    journal: bool = True,
+    workers: bool = False,
 ) -> None:
     """Install the shared supervisor flags on *parser*.
 
     ``journal=False`` omits the run-journal flags for subcommands whose
     campaigns are cheap enough that resume has nothing to save.
+    ``workers=True`` adds a distributed ``--workers`` flag for
+    subcommands that do not already own one via the execution flags.
     """
     group = parser.add_argument_group("resilience")
     group.add_argument(
@@ -95,7 +112,34 @@ def add_resilience_flags(
         help="chaos strike seed (default 7); strikes are a pure function "
              "of (seed, unit, attempt)",
     )
+    group.add_argument(
+        "--chaos-workers", action="store_true",
+        help="distributed runs only: sabotage the worker processes "
+             "themselves — seeded kill -9s (exercising lease stealing "
+             "and respawn) and heartbeat-alive freezes (exercising "
+             "straggler speculation)",
+    )
+    if workers:
+        group.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="run the campaign on N worker subprocesses pulling "
+                 "from a shared lease-based work queue (requires "
+                 "journaling; N >= 2)",
+        )
     if journal:
+        group.add_argument(
+            "--lease-ttl", type=_positive_float, default=5.0,
+            metavar="SECONDS",
+            help="distributed runs: heartbeat TTL of a unit lease "
+                 "(default 5); a lease untouched for this long is "
+                 "presumed dead and any peer may steal the unit",
+        )
+        group.add_argument(
+            "--speculate", action="store_true",
+            help="distributed runs: speculatively duplicate straggler "
+                 "units (in flight longer than 3x the running median); "
+                 "first completion wins, the loser is recorded",
+        )
         group.add_argument(
             "--run-dir", default=DEFAULT_RUN_DIR, metavar="PATH",
             help=f"root for run journals (default {DEFAULT_RUN_DIR}; "
@@ -119,15 +163,35 @@ def supervision_requested(args: argparse.Namespace) -> bool:
         getattr(args, "supervise", False)
         or getattr(args, "resume", None)
         or getattr(args, "run_id", None)
+        or distributed_requested(args)
         or args.chaos
+        or getattr(args, "chaos_workers", False)
         or args.budget is not None
         or args.unit_timeout is not None
         or args.max_rss_mb is not None
     )
 
 
+def distributed_requested(args: argparse.Namespace) -> bool:
+    """Whether the flags ask for the multi-process executor.
+
+    An *explicit* ``--workers N`` with ``N >= 2`` plus enabled
+    journaling (the lease queue and per-worker journals live in the
+    run directory). ``--workers auto`` (``None``) keeps the in-process
+    sharded-replay pool, and ``--workers 1`` is the serial path.
+    """
+    workers = getattr(args, "workers", None)
+    return (
+        isinstance(workers, int)
+        and workers >= 2
+        and bool(getattr(args, "run_dir", ""))
+    )
+
+
 def build_supervisor(
-    args: argparse.Namespace, campaign: Optional[Campaign] = None
+    args: argparse.Namespace,
+    campaign: Optional[Campaign] = None,
+    factory_spec: Optional[Dict[str, object]] = None,
 ) -> Supervisor:
     """Construct the supervisor the parsed *args* describe.
 
@@ -136,6 +200,11 @@ def build_supervisor(
     validating and continuing an existing one under ``--resume``.
     Raises :class:`~repro.common.errors.JournalError` for resume
     mismatches, which callers surface as a usage error.
+
+    With *factory_spec* (a JSON-able ``{"factory": "module:function",
+    "kwargs": ...}`` reference that rebuilds *campaign* in another
+    process) and distributed flags, the result is a
+    :class:`~repro.resilience.DistributedSupervisor` instead.
     """
     policy = RetryPolicy(
         max_attempts=max(1, args.retries), base_delay_s=args.backoff
@@ -174,6 +243,32 @@ def build_supervisor(
             campaign,
             require_existing=resume is not None,
             meta={"budget": budget_meta} if budget_meta else None,
+        )
+    if factory_spec is not None and distributed_requested(args):
+        if journal is None:
+            raise ResilienceError(
+                "--workers needs a run journal; do not combine it "
+                "with --run-dir ''"
+            )
+        worker_chaos = (
+            WorkerChaosConfig(seed=args.chaos_seed)
+            if getattr(args, "chaos_workers", False)
+            else None
+        )
+        config = DistributedConfig(
+            workers=args.workers,
+            lease_ttl_s=getattr(args, "lease_ttl", 5.0),
+            speculate=getattr(args, "speculate", False),
+            chaos_seed=args.chaos_seed if args.chaos else None,
+            worker_chaos=worker_chaos,
+        )
+        return DistributedSupervisor(
+            config,
+            factory_spec,
+            journal,
+            policy=policy,
+            budget=budget,
+            cache_dir=getattr(args, "cache_dir", None),
         )
     return Supervisor(
         policy=policy, budget=budget, chaos=chaos, journal=journal

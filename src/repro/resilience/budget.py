@@ -37,16 +37,53 @@ REASON_RSS = "rss budget exhausted"
 REASON_TRACEMALLOC = "tracemalloc budget exhausted"
 
 
-def current_rss_mb() -> Optional[float]:
-    """Peak resident-set size of this process in MiB (None if unknown)."""
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-Unix
-        return None
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+def _ru_maxrss_mb(peak: int) -> float:
     if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
         return peak / (1024.0 * 1024.0)
     return peak / 1024.0  # Linux reports KiB.
+
+
+def _psutil_rss_mb() -> Optional[float]:  # pragma: no cover - fallback path
+    """Current RSS of this process tree via psutil, if it is installed."""
+    try:
+        import psutil
+    except ImportError:
+        return None
+    try:
+        proc = psutil.Process()
+        total = proc.memory_info().rss
+        for child in proc.children(recursive=True):
+            try:
+                total += child.memory_info().rss
+            except psutil.Error:
+                continue
+    except psutil.Error:
+        return None
+    return total / (1024.0 * 1024.0)
+
+
+def current_rss_mb() -> Optional[float]:
+    """Peak resident-set size in MiB, workers included (None if unknown).
+
+    ``--max-rss-mb`` must still bite when units run out-of-process (the
+    distributed executor, sharded replay pools), so this is the max of
+    the ``RUSAGE_SELF`` peak and the ``RUSAGE_CHILDREN`` peak — the
+    latter covers every *reaped* child, which is exactly when a
+    worker's memory bill is final. Where :mod:`resource` is missing
+    (non-Unix), an optional psutil fallback reports the live process
+    tree instead; with neither, the guard is advisory (returns None).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix
+        return _psutil_rss_mb()
+    own = _ru_maxrss_mb(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    )
+    children = _ru_maxrss_mb(
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    )
+    return max(own, children)
 
 
 @dataclass(frozen=True)

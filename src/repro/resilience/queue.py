@@ -1,0 +1,442 @@
+"""The shared on-disk work queue behind distributed campaign execution.
+
+One queue directory coordinates N worker processes over the units of a
+single campaign, using nothing but the filesystem — no sockets, no
+server, no shared memory — so a worker can be ``kill -9``'d at any
+instant without corrupting the queue:
+
+* ``units/`` — one spec file per *pending* unit, named
+  ``<index>-<unit12>.json`` so a plain directory listing reproduces the
+  campaign's deterministic unit order;
+* ``leases/`` — claim files. A claim is an ``O_EXCL`` create of
+  ``<unit_id>.g<generation>``; the *holder* refreshes the file's mtime
+  as a heartbeat. A lease whose mtime is older than its TTL is stale
+  and any peer may **steal** the unit by ``O_EXCL``-creating generation
+  ``g+1`` — the exclusive create linearizes racing stealers, so exactly
+  one wins without ever unlinking a peer's file;
+* ``done/`` — completion markers, also ``O_EXCL``. The first process
+  to create ``done/<unit_id>.json`` owns the unit's verdict; a
+  speculative duplicate that loses this race records a speculation
+  loss instead of a result. Workers journal the result *before*
+  marking done, so a done marker always implies a durably journaled
+  record;
+* ``spec/`` — speculation requests. The coordinator creates
+  ``spec/<unit_id>.g<gen>`` when the generation-``g`` holder looks like
+  a straggler; :meth:`WorkQueue.claim` then permits one duplicate
+  claim at ``g+1`` even though the straggler's heartbeat is fresh.
+
+Safety rests on two properties: claims and done markers are exclusive
+creates (single winner by construction), and re-execution is harmless
+because units are content-addressed and deterministic — a stolen or
+speculated unit reproduces the same journaled payload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.atomicio import atomic_write_text, fsync_directory
+from repro.common.errors import ResilienceError
+
+#: Bump when the lease / done / spec file layout changes shape.
+LEASE_SCHEMA = 1
+
+#: Default heartbeat TTL: a lease untouched for this long is stale.
+DEFAULT_LEASE_TTL_S = 5.0
+
+
+@dataclass
+class Lease:
+    """One held claim on a unit (generation ``gen`` of its lease line)."""
+
+    unit_id: str
+    worker: str
+    gen: int
+    path: Path
+    ttl_s: float
+    #: True when this claim duplicated a live holder under a
+    #: speculation request rather than stealing a stale lease.
+    speculative: bool = False
+
+
+class WorkQueue:
+    """Filesystem-backed unit queue; see the module docstring."""
+
+    def __init__(
+        self,
+        root: "str | os.PathLike[str]",
+        default_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if default_ttl_s <= 0:
+            raise ResilienceError("lease TTL must be positive")
+        self.root = Path(root)
+        self.default_ttl_s = default_ttl_s
+        self.clock = clock
+        self.units_dir = self.root / "units"
+        self.leases_dir = self.root / "leases"
+        self.done_dir = self.root / "done"
+        self.spec_dir = self.root / "spec"
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create(self) -> None:
+        for directory in (
+            self.units_dir, self.leases_dir, self.done_dir, self.spec_dir
+        ):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def populate(
+        self,
+        unit_ids: Sequence[str],
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """(Re)write the pending-unit spec files, in campaign order.
+
+        Called by the coordinator only. Existing ``done`` markers are
+        kept for units still listed (their results are valid), but
+        markers for units *not* listed — completed units the campaign
+        journal already holds, or failed units a resume retries — are
+        dropped, as are all leases and speculation requests: any
+        previous incarnation's workers are presumed dead, and clearing
+        their leases trades a little idempotent duplicate work (should
+        an orphan survive) for an immediate restart. Correctness never
+        depends on the cleanup — done markers stay exclusive creates.
+        """
+        self.create()
+        wanted = set(unit_ids)
+        for stale in self.units_dir.glob("*.json"):
+            stale.unlink()
+        for directory in (self.leases_dir, self.spec_dir):
+            for stale in directory.iterdir():
+                stale.unlink()
+        for marker in self.done_dir.glob("*.json"):
+            info = self._read_json(marker)
+            keep = (
+                marker.stem in wanted
+                and isinstance(info, dict)
+                and info.get("status") == "ok"
+            )
+            if not keep:
+                marker.unlink()
+        width = max(5, len(str(len(unit_ids))))
+        for index, unit_id in enumerate(unit_ids):
+            spec = {
+                "schema": LEASE_SCHEMA,
+                "unit_id": unit_id,
+                "index": index,
+            }
+            if labels and unit_id in labels:
+                spec["label"] = labels[unit_id]
+            atomic_write_text(
+                self.units_dir / f"{index:0{width}d}-{unit_id[:12]}.json",
+                json.dumps(spec, separators=(",", ":")) + "\n",
+            )
+        fsync_directory(str(self.units_dir))
+
+    def pending_units(self) -> List[str]:
+        """Every queued unit id, in campaign (file-name) order."""
+        out: List[str] = []
+        for path in sorted(self.units_dir.glob("*.json")):
+            spec = self._read_json(path)
+            if isinstance(spec, dict) and isinstance(
+                spec.get("unit_id"), str
+            ):
+                out.append(spec["unit_id"])
+        return out
+
+    # -- leases --------------------------------------------------------------
+
+    def _lease_path(self, unit_id: str, gen: int) -> Path:
+        return self.leases_dir / f"{unit_id}.g{gen}"
+
+    def current_gen(self, unit_id: str) -> int:
+        """Highest existing lease generation for *unit_id* (0 = none)."""
+        best = 0
+        for path in self.leases_dir.glob(f"{unit_id}.g*"):
+            try:
+                gen = int(path.name.rsplit(".g", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            best = max(best, gen)
+        return best
+
+    def read_lease(
+        self, unit_id: str, gen: int
+    ) -> Optional[Dict[str, object]]:
+        """The lease file's JSON content (None if missing or torn)."""
+        return self._read_json(self._lease_path(unit_id, gen))
+
+    def lease_age_s(self, unit_id: str, gen: int) -> Optional[float]:
+        """Seconds since the lease's last heartbeat (mtime)."""
+        try:
+            mtime = self._lease_path(unit_id, gen).stat().st_mtime
+        except OSError:
+            return None
+        return max(0.0, self.clock() - mtime)
+
+    def _lease_ttl(self, unit_id: str, gen: int) -> float:
+        content = self.read_lease(unit_id, gen)
+        if isinstance(content, dict):
+            ttl = content.get("ttl_s")
+            if isinstance(ttl, (int, float)) and ttl > 0:
+                return float(ttl)
+        # A torn lease file (kill between create and write) advertises
+        # no TTL; the queue default makes it stealable, not immortal.
+        return self.default_ttl_s
+
+    def lease_stale(self, unit_id: str, gen: int) -> bool:
+        age = self.lease_age_s(unit_id, gen)
+        if age is None:
+            return True
+        return age > self._lease_ttl(unit_id, gen)
+
+    def claim(
+        self,
+        unit_id: str,
+        worker: str,
+        ttl_s: Optional[float] = None,
+    ) -> Optional[Lease]:
+        """Try to acquire *unit_id*; ``None`` means nothing to do here.
+
+        Succeeds when no lease exists (first claim), the current lease
+        is stale (steal), or a speculation request names the current
+        generation (speculative duplicate). All three paths funnel into
+        one ``O_EXCL`` create of the next generation, so concurrent
+        claimers always resolve to a single winner.
+        """
+        ttl = ttl_s if ttl_s is not None else self.default_ttl_s
+        for _ in range(8):  # bounded retries under claim races
+            if self.is_done(unit_id):
+                return None
+            gen = self.current_gen(unit_id)
+            if gen == 0:
+                lease = self._try_create(unit_id, 1, worker, ttl, False)
+                if lease is not None:
+                    return lease
+                continue
+            stale = self.lease_stale(unit_id, gen)
+            speculative = not stale and self.speculation_requested(
+                unit_id, gen
+            )
+            if not stale and not speculative:
+                return None
+            lease = self._try_create(
+                unit_id, gen + 1, worker, ttl, speculative
+            )
+            if lease is not None:
+                return lease
+        return None
+
+    def _try_create(
+        self,
+        unit_id: str,
+        gen: int,
+        worker: str,
+        ttl_s: float,
+        speculative: bool,
+    ) -> Optional[Lease]:
+        path = self._lease_path(unit_id, gen)
+        try:
+            fd = os.open(
+                path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return None
+        except OSError as exc:
+            raise ResilienceError(
+                f"cannot create lease {path}: {exc}"
+            ) from None
+        try:
+            payload = {
+                "schema": LEASE_SCHEMA,
+                "unit_id": unit_id,
+                "worker": worker,
+                "pid": os.getpid(),
+                "gen": gen,
+                "ttl_s": ttl_s,
+                "acquired_ts": round(self.clock(), 3),
+                "speculative": speculative,
+            }
+            os.write(
+                fd,
+                (json.dumps(payload, separators=(",", ":")) + "\n").encode(
+                    "utf-8"
+                ),
+            )
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        fsync_directory(str(self.leases_dir))
+        return Lease(
+            unit_id=unit_id,
+            worker=worker,
+            gen=gen,
+            path=path,
+            ttl_s=ttl_s,
+            speculative=speculative,
+        )
+
+    def heartbeat(self, lease: Lease) -> None:
+        """Refresh the lease mtime; silently tolerates a stolen lease."""
+        try:
+            os.utime(lease.path)
+        except OSError:
+            pass
+
+    def release(self, lease: Lease) -> None:
+        """Drop a finished claim so the leases dir lists only live work."""
+        try:
+            lease.path.unlink()
+        except OSError:
+            pass
+
+    def live_leases(self) -> List[Dict[str, object]]:
+        """Current-generation leases of not-yet-done units (for status)."""
+        by_unit: Dict[str, int] = {}
+        for path in self.leases_dir.iterdir():
+            name = path.name
+            if ".g" not in name:
+                continue
+            unit_id, _, gen_text = name.rpartition(".g")
+            try:
+                gen = int(gen_text)
+            except ValueError:
+                continue
+            if gen > by_unit.get(unit_id, 0):
+                by_unit[unit_id] = gen
+        out: List[Dict[str, object]] = []
+        for unit_id, gen in sorted(by_unit.items()):
+            if self.is_done(unit_id):
+                continue
+            content = self.read_lease(unit_id, gen) or {}
+            out.append(
+                {
+                    "unit_id": unit_id,
+                    "gen": gen,
+                    "worker": content.get("worker", "?"),
+                    "speculative": bool(content.get("speculative", False)),
+                    "age_s": self.lease_age_s(unit_id, gen),
+                    "stale": self.lease_stale(unit_id, gen),
+                }
+            )
+        return out
+
+    # -- completion ----------------------------------------------------------
+
+    def _done_path(self, unit_id: str) -> Path:
+        return self.done_dir / f"{unit_id}.json"
+
+    def mark_done(
+        self,
+        unit_id: str,
+        worker: str,
+        status: str,
+        elapsed_s: float = 0.0,
+        gen: int = 0,
+    ) -> bool:
+        """Publish the unit's verdict; False = a peer already won.
+
+        The exclusive create is the arbitration point for speculation
+        ("first completion wins"): callers must have journaled their
+        result *before* calling, so the winner's marker always points
+        at a durable record.
+        """
+        path = self._done_path(unit_id)
+        try:
+            fd = os.open(
+                path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            raise ResilienceError(
+                f"cannot create done marker {path}: {exc}"
+            ) from None
+        try:
+            payload = {
+                "schema": LEASE_SCHEMA,
+                "unit_id": unit_id,
+                "worker": worker,
+                "status": status,
+                "elapsed_s": round(elapsed_s, 6),
+                "gen": gen,
+                "ts": round(self.clock(), 3),
+            }
+            os.write(
+                fd,
+                (json.dumps(payload, separators=(",", ":")) + "\n").encode(
+                    "utf-8"
+                ),
+            )
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        fsync_directory(str(self.done_dir))
+        return True
+
+    def is_done(self, unit_id: str) -> bool:
+        return self._done_path(unit_id).exists()
+
+    def done_info(self, unit_id: str) -> Optional[Dict[str, object]]:
+        return self._read_json(self._done_path(unit_id))
+
+    def done_ids(self) -> List[str]:
+        return sorted(p.stem for p in self.done_dir.glob("*.json"))
+
+    def all_done(self, unit_ids: Sequence[str]) -> bool:
+        return all(self.is_done(uid) for uid in unit_ids)
+
+    # -- speculation ---------------------------------------------------------
+
+    def request_speculation(self, unit_id: str, gen: int) -> bool:
+        """Ask for one duplicate of generation *gen*; False = already asked."""
+        path = self.spec_dir / f"{unit_id}.g{gen}"
+        try:
+            fd = os.open(
+                path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+            )
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            raise ResilienceError(
+                f"cannot create speculation marker {path}: {exc}"
+            ) from None
+        os.close(fd)
+        return True
+
+    def speculation_requested(self, unit_id: str, gen: int) -> bool:
+        return (self.spec_dir / f"{unit_id}.g{gen}").exists()
+
+    def speculation_count(self) -> int:
+        return sum(1 for _ in self.spec_dir.iterdir())
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _read_json(path: Path) -> Optional[Dict[str, object]]:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
+            parsed = json.loads(text)
+        except json.JSONDecodeError:
+            # A kill between O_EXCL create and write leaves a torn
+            # (usually empty) file; its existence still counts, its
+            # content does not.
+            return None
+        return parsed if isinstance(parsed, dict) else None
+
+
+def queue_progress(
+    queue: WorkQueue, unit_ids: Sequence[str]
+) -> Tuple[int, int]:
+    """(done, total) over *unit_ids* — the coordinator's poll primitive."""
+    done = sum(1 for uid in unit_ids if queue.is_done(uid))
+    return done, len(unit_ids)

@@ -1,0 +1,399 @@
+"""One distributed-campaign worker process (``python -m repro.resilience.worker``).
+
+A worker is spawned by the coordinator
+(:class:`repro.resilience.distributed.DistributedSupervisor`) against a
+run directory and does four things in a loop until the queue drains:
+
+1. rebuild the campaign from the run's ``campaign.json`` factory spec
+   and refuse to start on a fingerprint mismatch — unit ids are
+   content-addressed, so a faithful rebuild is what makes results
+   interchangeable across processes;
+2. claim a pending unit through the lease protocol
+   (:mod:`repro.resilience.queue`): first claim, steal of a stale
+   lease, or speculative duplicate of a straggler;
+3. execute it under the serial supervisor's exact retry/classification
+   machinery, with a daemon heartbeat thread refreshing the lease
+   mtime the whole time;
+4. append the outcome to its **own** torn-tail-tolerant
+   :class:`~repro.resilience.journal.RunJournal`
+   (``workers/<id>/journal.jsonl``) *before* publishing the exclusive
+   done marker — so a kill at any instant loses at most unjournaled
+   work, never a journaled-but-unclaimed or claimed-but-unjournaled
+   result.
+
+Losing the done-marker race (the unit was speculated or stolen and a
+peer finished first) is recorded as a ``spec-loss`` worker event, not a
+unit record, so the journal merge never sees conflicting verdicts —
+and even a harmless duplicate ``ok`` record is safe, because runners
+are deterministic and the merge dedups by unit id.
+
+Chaos: ``--chaos`` mounts the regular unit-attempt
+:class:`~repro.resilience.chaos.ChaosMonkey` inside the worker;
+``--chaos-workers`` mounts :class:`~repro.resilience.chaos.WorkerChaos`,
+which really ``kill -9``'s or freezes *this process* to exercise lease
+expiry, stealing, respawn, and straggler speculation end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.common.errors import EXIT_OK, EXIT_USAGE, ReproError
+from repro.resilience.budget import BudgetGuard, ResourceBudget
+from repro.resilience.chaos import (
+    ChaosConfig,
+    ChaosMonkey,
+    WorkerChaos,
+    WorkerChaosConfig,
+)
+from repro.resilience.journal import RunJournal
+from repro.resilience.policy import FailureClass, RetryPolicy, classify_failure
+from repro.resilience.queue import Lease, WorkQueue
+from repro.resilience.telemetry import UnitTelemetry
+from repro.resilience.units import Campaign, WorkUnit
+
+#: Name of the factory-spec file the coordinator writes into the run dir.
+CAMPAIGN_SPEC_NAME = "campaign.json"
+
+#: Subdirectory of the run dir holding per-worker journals and logs.
+WORKERS_DIR = "workers"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience.worker",
+        description="One lease-claiming campaign worker (spawned by the "
+                    "distributed supervisor; runnable by hand for "
+                    "debugging).",
+    )
+    parser.add_argument("--run", required=True, metavar="PATH",
+                        help="run directory (journal.jsonl, campaign.json, "
+                             "queue/, workers/)")
+    parser.add_argument("--worker-id", required=True, metavar="ID")
+    parser.add_argument("--worker-index", type=int, default=0, metavar="N",
+                        help="rotation offset into the pending list "
+                             "(reduces first-claim contention)")
+    parser.add_argument("--incarnation", type=int, default=0, metavar="N",
+                        help="respawn count (salts the worker-chaos draw)")
+    parser.add_argument("--lease-ttl", type=float, default=5.0,
+                        metavar="SECONDS")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        metavar="SECONDS",
+                        help="lease heartbeat interval (default: ttl / 3)")
+    parser.add_argument("--retries", type=int, default=3, metavar="N")
+    parser.add_argument("--backoff", type=float, default=0.05,
+                        metavar="SECONDS")
+    parser.add_argument("--unit-timeout", type=float, default=None,
+                        metavar="SECONDS")
+    parser.add_argument("--poll", type=float, default=0.1, metavar="SECONDS",
+                        help="idle sleep when nothing is claimable")
+    parser.add_argument("--chaos", action="store_true",
+                        help="unit-attempt chaos monkey inside this worker")
+    parser.add_argument("--chaos-seed", type=int, default=7, metavar="N")
+    parser.add_argument("--chaos-workers", action="store_true",
+                        help="worker-process chaos: seeded kill -9s and "
+                             "heartbeat-alive freezes of this process")
+    parser.add_argument("--worker-kill-prob", type=float, default=0.2)
+    parser.add_argument("--worker-freeze-prob", type=float, default=0.15)
+    parser.add_argument("--worker-freeze-s", type=float, default=2.0)
+    parser.add_argument("--cache-dir", default=None, metavar="PATH",
+                        help="artifact-store root; touched artifacts are "
+                             "pinned for this run and cache counters are "
+                             "flushed on exit")
+    return parser
+
+
+def load_campaign(run_dir: Path) -> Campaign:
+    """Rebuild the campaign from the run's factory spec, validated."""
+    from repro.resilience.distributed import build_campaign
+
+    spec_path = run_dir / CAMPAIGN_SPEC_NAME
+    try:
+        spec = json.loads(spec_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(
+            f"cannot read campaign spec {spec_path}: {exc}"
+        ) from None
+    return build_campaign(spec)
+
+
+def _heartbeat_loop(
+    queue: WorkQueue, lease: Lease, stop: threading.Event, interval: float
+) -> None:
+    while not stop.wait(interval):
+        queue.heartbeat(lease)
+
+
+class Worker:
+    """The claim/execute/journal loop; one instance per process."""
+
+    def __init__(
+        self,
+        queue: WorkQueue,
+        journal: RunJournal,
+        campaign: Campaign,
+        worker_id: str,
+        worker_index: int = 0,
+        lease_ttl_s: float = 5.0,
+        heartbeat_s: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+        unit_timeout_s: Optional[float] = None,
+        chaos: Optional[ChaosMonkey] = None,
+        worker_chaos: Optional[WorkerChaos] = None,
+        poll_s: float = 0.1,
+        sleep=time.sleep,
+    ) -> None:
+        self.queue = queue
+        self.journal = journal
+        self.units: Dict[str, WorkUnit] = {
+            unit.unit_id: unit for unit in campaign.units
+        }
+        self.worker_id = worker_id
+        self.worker_index = worker_index
+        self.lease_ttl_s = lease_ttl_s
+        self.heartbeat_s = (
+            heartbeat_s
+            if heartbeat_s is not None
+            else max(0.05, lease_ttl_s / 3.0)
+        )
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.guard = BudgetGuard(
+            ResourceBudget(unit_timeout_s=unit_timeout_s)
+        )
+        self.chaos = chaos
+        self.worker_chaos = worker_chaos
+        self.poll_s = poll_s
+        self.sleep = sleep
+        self.executed = 0
+
+    def run(self) -> None:
+        """Claim and execute until every queued unit has a done marker."""
+        while True:
+            pending = [
+                uid
+                for uid in self.queue.pending_units()
+                if not self.queue.is_done(uid)
+            ]
+            if not pending:
+                return
+            offset = self.worker_index % len(pending)
+            progress = False
+            for uid in pending[offset:] + pending[:offset]:
+                unit = self.units.get(uid)
+                if unit is None:
+                    continue  # queued by a different campaign build
+                lease = self.queue.claim(
+                    uid, self.worker_id, ttl_s=self.lease_ttl_s
+                )
+                if lease is None:
+                    continue
+                progress = True
+                self._execute(unit, lease)
+            if not progress:
+                # Everything claimable is held by live peers; wait for
+                # done markers, expiries, or speculation requests.
+                self.sleep(self.poll_s)
+
+    # -- one unit ------------------------------------------------------------
+
+    def _provenance(self, lease: Lease) -> Dict[str, object]:
+        extra: Dict[str, object] = {
+            "worker": self.worker_id, "gen": lease.gen,
+        }
+        if lease.speculative:
+            extra["speculative"] = True
+        return extra
+
+    def _execute(self, unit: WorkUnit, lease: Lease) -> None:
+        stop = threading.Event()
+        beat = threading.Thread(
+            target=_heartbeat_loop,
+            args=(self.queue, lease, stop, self.heartbeat_s),
+            daemon=True,
+        )
+        beat.start()
+        if lease.speculative:
+            self.journal.record_event(
+                "speculate", unit_id=unit.unit_id, worker=self.worker_id,
+                gen=lease.gen,
+            )
+        elif lease.gen > 1:
+            self.journal.record_event(
+                "steal", unit_id=unit.unit_id, worker=self.worker_id,
+                gen=lease.gen,
+            )
+        try:
+            if self.worker_chaos is not None:
+                # May SIGKILL this process (lease goes stale -> stolen)
+                # or freeze it with the heartbeat alive (-> speculated).
+                self.worker_chaos.strike(unit.unit_id)
+            self._attempts(unit, lease)
+        finally:
+            stop.set()
+            beat.join(timeout=1.0)
+            self.queue.release(lease)
+
+    def _attempts(self, unit: WorkUnit, lease: Lease) -> None:
+        start = time.monotonic()
+        cpu_start = time.process_time()
+        failure: Optional[FailureClass] = None
+        error: Optional[str] = None
+        attempt = 0
+
+        def measure(elapsed: float, attempts: int) -> Dict[str, object]:
+            from repro.resilience.budget import current_rss_mb
+
+            return UnitTelemetry(
+                wall_s=elapsed,
+                cpu_s=max(0.0, time.process_time() - cpu_start),
+                rss_mb=current_rss_mb(),
+                retries=max(0, attempts - 1),
+            ).as_dict()
+
+        for attempt in range(1, self.policy.max_attempts + 1):
+            if self.queue.is_done(unit.unit_id):
+                # A peer (steal or speculation) finished first; cancel.
+                self.journal.record_event(
+                    "spec-loss", unit_id=unit.unit_id,
+                    worker=self.worker_id, gen=lease.gen,
+                )
+                return
+            try:
+                if self.chaos is not None:
+                    self.chaos.strike(unit.unit_id, attempt)
+                with self.guard.unit_timeout():
+                    payload = unit.execute()
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BaseException as exc:
+                failure = classify_failure(exc)
+                error = f"{type(exc).__name__}: {exc}"
+                if not self.policy.should_retry(failure, attempt):
+                    break
+                self.sleep(
+                    self.policy.backoff_delay(unit.unit_id, attempt)
+                )
+            else:
+                elapsed = time.monotonic() - start
+                if self.queue.is_done(unit.unit_id):
+                    self.journal.record_event(
+                        "spec-loss", unit_id=unit.unit_id,
+                        worker=self.worker_id, gen=lease.gen,
+                    )
+                    return
+                # Journal first, publish second: a kill between the two
+                # re-runs the unit idempotently; the reverse order
+                # could mark work done that no journal holds.
+                self.journal.record_unit(
+                    unit, "ok", attempt, elapsed, result=payload,
+                    telemetry=measure(elapsed, attempt),
+                    extra=self._provenance(lease),
+                )
+                self.executed += 1
+                won = self.queue.mark_done(
+                    unit.unit_id, self.worker_id, "ok", elapsed,
+                    gen=lease.gen,
+                )
+                if not won:
+                    self.journal.record_event(
+                        "spec-loss", unit_id=unit.unit_id,
+                        worker=self.worker_id, gen=lease.gen,
+                    )
+                return
+        elapsed = time.monotonic() - start
+        failure_value = failure.value if failure is not None else None
+        self.journal.record_unit(
+            unit, "failed", attempt, elapsed,
+            failure_class=failure_value, error=error,
+            telemetry=measure(elapsed, attempt),
+            extra=self._provenance(lease),
+        )
+        # Publish the failed verdict too: peers must not burn retries
+        # on a deterministic failure. A later --resume clears non-ok
+        # markers and retries, matching serial resume semantics.
+        self.queue.mark_done(
+            unit.unit_id, self.worker_id, "failed", elapsed, gen=lease.gen
+        )
+
+
+def worker_main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    run_dir = Path(args.run)
+    try:
+        campaign = load_campaign(run_dir)
+    except ReproError as exc:
+        print(f"worker error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    queue = WorkQueue(run_dir / "queue", default_ttl_s=args.lease_ttl)
+    journal = RunJournal.open(
+        run_dir / WORKERS_DIR,
+        args.worker_id,
+        campaign,
+        meta={"worker": args.worker_id},
+    )
+    chaos = (
+        ChaosMonkey(ChaosConfig(seed=args.chaos_seed))
+        if args.chaos
+        else None
+    )
+    worker_chaos = (
+        WorkerChaos(
+            WorkerChaosConfig(
+                seed=args.chaos_seed,
+                kill_prob=args.worker_kill_prob,
+                freeze_prob=args.worker_freeze_prob,
+                freeze_s=args.worker_freeze_s,
+            ),
+            worker_id=args.worker_id,
+            incarnation=args.incarnation,
+        )
+        if args.chaos_workers
+        else None
+    )
+    worker = Worker(
+        queue=queue,
+        journal=journal,
+        campaign=campaign,
+        worker_id=args.worker_id,
+        worker_index=args.worker_index,
+        lease_ttl_s=args.lease_ttl,
+        heartbeat_s=args.heartbeat,
+        policy=RetryPolicy(
+            max_attempts=max(1, args.retries), base_delay_s=args.backoff
+        ),
+        unit_timeout_s=args.unit_timeout,
+        chaos=chaos,
+        worker_chaos=worker_chaos,
+        poll_s=args.poll,
+    )
+    # Pin every artifact this worker touches for the duration of the
+    # run, so a concurrent `cache gc` cannot evict in-flight inputs.
+    from repro.harness.diskcache import DiskCache, activate_pin, flush_counters
+
+    cache = DiskCache.from_spec(args.cache_dir)
+    if cache is not None:
+        activate_pin(f"run-{run_dir.name}-{args.worker_id}")
+    journal.record_event(
+        "start", worker=args.worker_id, pid=os.getpid(),
+        incarnation=args.incarnation,
+    )
+    try:
+        worker.run()
+    finally:
+        journal.record_event(
+            "exit", worker=args.worker_id, executed=worker.executed
+        )
+        if cache is not None:
+            flush_counters()
+    return EXIT_OK
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry
+    sys.exit(worker_main())

@@ -190,3 +190,152 @@ class TestContextIntegration:
         assert ctx.disk_cache is None
         result = ctx.run("bfs", "nosec")
         assert result.total_bytes > 0
+
+
+def seed_entry(cache, name, size=64, age_s=0.0):
+    """Create one artifact file by hand, optionally backdated."""
+    import os
+    import time as _time
+
+    cache.root.mkdir(parents=True, exist_ok=True)
+    path = cache.root / f"{name}.txt"
+    path.write_text("x" * size, encoding="utf-8")
+    if age_s:
+        past = _time.time() - age_s
+        os.utime(path, (past, past))
+    return path
+
+
+class TestEntriesAndGc:
+    def test_entries_list_oldest_mtime_first(self, cache):
+        newer = seed_entry(cache, "newer", age_s=10.0)
+        oldest = seed_entry(cache, "oldest", age_s=100.0)
+        fresh = seed_entry(cache, "fresh")
+        assert cache.entries() == [oldest, newer, fresh]
+        assert cache.total_bytes() == 3 * 64
+
+    def test_gc_evicts_lru_down_to_budget(self, cache):
+        seed_entry(cache, "a", size=100, age_s=300.0)
+        seed_entry(cache, "b", size=100, age_s=200.0)
+        keep = seed_entry(cache, "c", size=100, age_s=100.0)
+        result = cache.gc(max_bytes=100)
+        assert (result.examined, result.evicted) == (3, 2)
+        assert result.freed_bytes == 200
+        assert result.remaining_bytes == 100
+        assert cache.entries() == [keep]
+
+    def test_gc_dry_run_deletes_nothing(self, cache):
+        seed_entry(cache, "a", size=100, age_s=10.0)
+        result = cache.gc(max_bytes=0, dry_run=True)
+        assert result.dry_run and result.evicted == 1
+        assert len(cache.entries()) == 1
+
+    def test_gc_never_evicts_pinned_entries(self, cache):
+        pinned = seed_entry(cache, "inflight", size=100, age_s=300.0)
+        seed_entry(cache, "old", size=100, age_s=200.0)
+        cache.pin("run-abc-w0", pinned.name)
+        result = cache.gc(max_bytes=0)
+        assert result.pinned_kept == 1
+        assert result.evicted == 1
+        assert cache.entries() == [pinned]
+
+    def test_gc_rejects_negative_budget(self, cache):
+        with pytest.raises(ValueError):
+            cache.gc(max_bytes=-1)
+
+    def test_verified_read_refreshes_lru_position(self, cache):
+        # A hit bumps the entry's mtime, so recently *used* -- not
+        # recently written -- artifacts survive a tight GC.
+        import os
+        import time as _time
+
+        trace = build_trace("bfs", length=50, seed=1)
+        cache.store_trace(DiskCache.trace_key("bfs", 50, 1), trace)
+        cache.store_trace(DiskCache.trace_key("bfs", 50, 2), trace)
+        hot, cold = cache.entries()
+        for path in (hot, cold):
+            past = _time.time() - 500.0
+            os.utime(path, (past, past))
+        key_of_hot = hot.name[len("trace-"):-len(".txt")]
+        assert cache.load_trace(key_of_hot) is not None
+        sizes = {p: s for p, s in cache._entry_sizes.items()}
+        cache.gc(max_bytes=sizes[hot])
+        assert cache.entries() == [hot]
+
+
+class TestPins:
+    def test_active_pin_records_touched_artifacts(self, cache):
+        from repro.harness import diskcache as mod
+
+        trace = build_trace("bfs", length=50, seed=3)
+        key = DiskCache.trace_key("bfs", 50, 3)
+        mod.activate_pin("run-xyz-w0")
+        try:
+            cache.store_trace(key, trace)
+            assert cache.load_trace(key) is not None
+        finally:
+            mod.deactivate_pin()
+        assert mod.active_pin() is None
+        (entry,) = cache.entries()
+        assert cache.pinned_files() == {entry.name}
+        assert cache.pin_ids() == ["run-xyz-w0"]
+        survivors = cache.gc(max_bytes=0)
+        assert survivors.evicted == 0 and survivors.pinned_kept == 1
+
+    def test_pin_id_must_be_a_bare_name(self):
+        from repro.harness.diskcache import activate_pin
+
+        with pytest.raises(ValueError):
+            activate_pin("../escape")
+
+    def test_pin_is_idempotent_and_sorted(self, cache):
+        cache.pin("p", "b.txt")
+        cache.pin("p", "a.txt")
+        cache.pin("p", "b.txt")
+        import json
+
+        payload = json.loads(
+            (cache.root / "pins" / "p.json").read_text(encoding="utf-8")
+        )
+        assert payload["entries"] == ["a.txt", "b.txt"]
+
+    def test_clear_pins_honors_prefix(self, cache):
+        cache.pin("run-a-w0", "x.txt")
+        cache.pin("run-b-w0", "y.txt")
+        assert cache.clear_pins("run-a-") == 1
+        assert cache.pin_ids() == ["run-b-w0"]
+        assert cache.clear_pins() == 1
+        assert cache.pinned_files() == set()
+
+
+class TestPersistedCounters:
+    def test_flush_merges_across_instances(self, cache):
+        trace = build_trace("bfs", length=50, seed=4)
+        key = DiskCache.trace_key("bfs", 50, 4)
+        assert cache.load_trace(key) is None  # miss
+        cache.store_trace(key, trace)
+        assert cache.load_trace(key) is not None  # hit
+        cache.flush_counters()
+        cache.flush_counters()  # idempotent: no unflushed deltas left
+
+        other = DiskCache(str(cache.root))
+        assert other.load_trace(key) is not None
+        other.flush_counters()
+        persisted = DiskCache(str(cache.root)).read_persisted_counters()
+        assert persisted["hits"] == 2
+        assert persisted["misses"] == 1
+        assert persisted["stores"] == 1
+
+    def test_stats_merge_persisted_and_session(self, cache):
+        trace = build_trace("bfs", length=50, seed=5)
+        key = DiskCache.trace_key("bfs", 50, 5)
+        cache.store_trace(key, trace)
+        cache.flush_counters()
+        other = DiskCache(str(cache.root))
+        assert other.load_trace(key) is not None  # unflushed session hit
+        stats = other.stats()
+        assert stats["entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert stats["counters"]["stores"] == 1
+        assert stats["counters"]["hits"] == 1
+        assert stats["pins"] == []

@@ -202,3 +202,34 @@ class TestStackedGuards:
         finally:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
+
+
+class TestChildRssAccounting:
+    def test_reaped_child_memory_is_billed(self):
+        # A worker subprocess's allocation must show up in the RSS
+        # probe once the child is reaped -- that is what lets
+        # --max-rss-mb bite on distributed runs, where the memory is
+        # spent in children, not in the coordinator.
+        resource = pytest.importorskip("resource")
+        import subprocess
+        import sys
+
+        from repro.resilience.budget import _ru_maxrss_mb, current_rss_mb
+
+        subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                "x = bytearray(200 * 1024 * 1024); x[::4096] = "
+                "b'y' * len(x[::4096]); print(len(x))",
+            ],
+            check=True,
+            stdout=subprocess.DEVNULL,
+        )
+        children_mb = _ru_maxrss_mb(
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+        )
+        assert children_mb >= 190.0
+        probe = current_rss_mb()
+        assert probe is not None
+        assert probe >= children_mb

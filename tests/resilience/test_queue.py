@@ -1,0 +1,179 @@
+"""The lease-based work queue: claims, steals, speculation, done markers."""
+
+import os
+import time
+
+import pytest
+
+from repro.common.errors import ResilienceError
+from repro.resilience import DEFAULT_LEASE_TTL_S, WorkQueue, queue_progress
+
+
+@pytest.fixture
+def queue(tmp_path):
+    q = WorkQueue(tmp_path / "queue", default_ttl_s=5.0)
+    q.create()
+    return q
+
+
+def backdate(path, seconds):
+    """Age a lease by pushing its mtime into the past."""
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+class TestPopulate:
+    def test_pending_units_preserve_campaign_order(self, queue):
+        ids = [f"unit-{i:02d}-{'ab' * 20}"[:40] for i in range(12)]
+        queue.populate(ids)
+        assert queue.pending_units() == ids
+
+    def test_repopulate_keeps_ok_markers_for_listed_units(self, queue):
+        queue.populate(["u1", "u2"])
+        queue.mark_done("u1", "w0", "ok")
+        queue.populate(["u1", "u2"])
+        assert queue.is_done("u1")
+        assert not queue.is_done("u2")
+
+    def test_repopulate_drops_markers_of_unlisted_units(self, queue):
+        queue.populate(["u1"])
+        queue.mark_done("u1", "w0", "ok")
+        queue.populate(["u2"])  # u1 completed; journal owns it now
+        assert not queue.is_done("u1")
+
+    def test_repopulate_drops_failed_markers(self, queue):
+        queue.populate(["u1"])
+        queue.mark_done("u1", "w0", "failed")
+        queue.populate(["u1"])  # a resume retries failed units
+        assert not queue.is_done("u1")
+
+    def test_repopulate_clears_leases_and_speculation(self, queue):
+        queue.populate(["u1"])
+        lease = queue.claim("u1", "w0")
+        queue.request_speculation("u1", lease.gen)
+        queue.populate(["u1"])
+        assert queue.current_gen("u1") == 0
+        assert queue.speculation_count() == 0
+
+    def test_ttl_must_be_positive(self, tmp_path):
+        with pytest.raises(ResilienceError):
+            WorkQueue(tmp_path / "q", default_ttl_s=0.0)
+
+
+class TestClaims:
+    def test_first_claim_wins_exclusively(self, queue):
+        lease = queue.claim("u1", "w0")
+        assert lease is not None
+        assert (lease.gen, lease.worker, lease.speculative) == (1, "w0", False)
+        assert queue.claim("u1", "w1") is None
+
+    def test_fresh_heartbeat_prevents_stealing(self, queue):
+        lease = queue.claim("u1", "w0")
+        backdate(lease.path, 60.0)
+        queue.heartbeat(lease)  # holder is alive; mtime refreshed
+        assert queue.claim("u1", "w1") is None
+
+    def test_stale_lease_is_stolen_at_next_generation(self, queue):
+        lease = queue.claim("u1", "w0")
+        backdate(lease.path, lease.ttl_s + 1.0)
+        stolen = queue.claim("u1", "w1")
+        assert stolen is not None
+        assert (stolen.gen, stolen.worker) == (2, "w1")
+        assert stolen.speculative is False
+
+    def test_steal_never_unlinks_the_old_generation(self, queue):
+        lease = queue.claim("u1", "w0")
+        backdate(lease.path, 60.0)
+        queue.claim("u1", "w1")
+        assert lease.path.exists()  # gen 1 stays; gen 2 supersedes it
+
+    def test_racing_stealers_resolve_to_one_winner(self, queue):
+        lease = queue.claim("u1", "w0")
+        backdate(lease.path, 60.0)
+        winners = [
+            queue.claim("u1", worker) for worker in ("w1", "w2", "w3")
+        ]
+        held = [w for w in winners if w is not None]
+        assert len(held) == 1
+        assert held[0].gen == 2
+
+    def test_done_unit_is_never_claimed(self, queue):
+        queue.mark_done("u1", "w0", "ok")
+        assert queue.claim("u1", "w1") is None
+
+    def test_torn_lease_file_is_stealable_not_immortal(self, queue):
+        # kill -9 between O_EXCL create and the JSON write leaves an
+        # empty lease file advertising no TTL; the default applies.
+        path = queue.leases_dir / "u1.g1"
+        path.touch()
+        backdate(path, queue.default_ttl_s + 1.0)
+        stolen = queue.claim("u1", "w1")
+        assert stolen is not None and stolen.gen == 2
+
+    def test_release_drops_the_lease_file(self, queue):
+        lease = queue.claim("u1", "w0")
+        queue.release(lease)
+        assert not lease.path.exists()
+
+
+class TestSpeculation:
+    def test_request_permits_exactly_one_duplicate(self, queue):
+        lease = queue.claim("u1", "w0")
+        assert queue.claim("u1", "w1") is None  # fresh, no request
+        assert queue.request_speculation("u1", lease.gen) is True
+        dup = queue.claim("u1", "w1")
+        assert dup is not None
+        assert (dup.gen, dup.speculative) == (2, True)
+        # The request named gen 1; gen 2 now holds, so no third copy.
+        assert queue.claim("u1", "w2") is None
+
+    def test_request_is_idempotent(self, queue):
+        lease = queue.claim("u1", "w0")
+        assert queue.request_speculation("u1", lease.gen) is True
+        assert queue.request_speculation("u1", lease.gen) is False
+
+    def test_first_completion_wins_arbitration(self, queue):
+        lease = queue.claim("u1", "w0")
+        queue.request_speculation("u1", lease.gen)
+        dup = queue.claim("u1", "w1")
+        assert queue.mark_done("u1", dup.worker, "ok", gen=dup.gen) is True
+        assert queue.mark_done("u1", "w0", "ok", gen=lease.gen) is False
+        assert queue.done_info("u1")["worker"] == "w1"
+
+
+class TestDoneMarkers:
+    def test_marker_records_verdict_and_generation(self, queue):
+        queue.mark_done("u1", "w2", "ok", elapsed_s=1.25, gen=3)
+        info = queue.done_info("u1")
+        assert info["status"] == "ok"
+        assert info["worker"] == "w2"
+        assert info["gen"] == 3
+        assert info["elapsed_s"] == pytest.approx(1.25)
+
+    def test_progress_counts_done_over_listed(self, queue):
+        queue.populate(["u1", "u2", "u3"])
+        queue.mark_done("u2", "w0", "ok")
+        assert queue_progress(queue, ["u1", "u2", "u3"]) == (1, 3)
+        assert not queue.all_done(["u1", "u2", "u3"])
+        assert queue.all_done(["u2"])
+
+
+class TestLiveLeases:
+    def test_lists_current_generation_holders(self, queue):
+        queue.claim("u1", "w0")
+        lease = queue.claim("u2", "w1")
+        backdate(lease.path, 60.0)
+        queue.claim("u2", "w2")  # steal -> gen 2 is current
+        live = {entry["unit_id"]: entry for entry in queue.live_leases()}
+        assert live["u1"]["worker"] == "w0"
+        assert live["u2"]["worker"] == "w2"
+        assert live["u2"]["gen"] == 2
+
+    def test_done_units_are_omitted(self, queue):
+        queue.claim("u1", "w0")
+        queue.mark_done("u1", "w0", "ok")
+        assert queue.live_leases() == []
+
+
+def test_default_ttl_constant_matches_cli_default():
+    assert DEFAULT_LEASE_TTL_S == 5.0
